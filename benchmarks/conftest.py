@@ -1,0 +1,18 @@
+"""Benchmark configuration: one measured round per harness.
+
+Each benchmark regenerates a paper table/figure (the measured quantity is
+the harness wall time) and asserts the figure's qualitative shape so a
+regression in either speed or result fails the run.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a harness exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

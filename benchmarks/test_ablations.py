@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own ablations (Fig. 10/12), these sweep the knobs our
+reproduction introduces, checking each is load-bearing:
+
+- hardware generation (A100 vs V100 spec);
+- the sharing-policy constants separating stream/MPS from RAP;
+- the scheduler's demand-fitting (vs naive same-stage placement);
+- inter-batch interleaving (§6.3);
+- the hybrid CPU+GPU split of §10.
+"""
+
+import pytest
+
+from repro.baselines import run_mps_baseline
+from repro.core import RapPlanner
+from repro.core.hybrid import HybridPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.gpusim import RAP_POLICY, V100_SPEC
+from repro.preprocessing import build_plan
+
+
+@pytest.fixture(scope="module")
+def plan2():
+    return build_plan(2, rows=4096)
+
+
+def test_ablation_gpu_generation(run_once, plan2):
+    """A100 vs V100: the slower part is slower, but RAP still hides."""
+    graphs, schema = plan2
+    model = model_for_plan(graphs, schema)
+
+    def run():
+        out = {}
+        for name, spec_kwargs in (("a100", {}), ("v100", {"spec": V100_SPEC})):
+            workload = TrainingWorkload(model, num_gpus=4, local_batch=4096, **spec_kwargs)
+            out[name] = RapPlanner(workload).plan_and_evaluate(graphs)
+        return out
+
+    reports = run_once(run)
+    assert reports["a100"].throughput > reports["v100"].throughput
+    for rep in reports.values():
+        assert rep.training_slowdown < 1.10
+
+
+def test_ablation_scheduler_vs_naive_placement(run_once, plan2):
+    """Resource-aware placement vs dumping all kernels at iteration start."""
+    graphs, schema = plan2
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+
+    def run():
+        planner = RapPlanner(workload)
+        plan = planner.plan(graphs)
+        scheduled = planner.evaluate(plan)
+        # Naive: same fused kernels, all released at stage 0.
+        naive_assignments = []
+        for per_gpu, trailing in zip(plan.assignments_per_gpu, plan.trailing_per_gpu):
+            kernels = [k for idx in sorted(per_gpu) for k in per_gpu[idx]] + list(trailing)
+            naive_assignments.append({0: kernels} if kernels else {})
+        naive = workload.simulate(
+            assignments_per_gpu=naive_assignments,
+            input_comm_bytes=plan.input_comm_bytes,
+            policy=RAP_POLICY,
+        )
+        return scheduled, naive
+
+    scheduled, naive = run_once(run)
+    assert scheduled.cluster_result.iteration_time_us <= naive.iteration_time_us * 1.001
+
+
+def test_ablation_interleaving(run_once, plan2):
+    """Inter-batch interleaving hides the host-side data preparation."""
+    graphs, schema = plan2
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+
+    def run():
+        on = RapPlanner(workload, interleaving_enabled=True).plan_and_evaluate(graphs)
+        off = RapPlanner(workload, interleaving_enabled=False).plan_and_evaluate(graphs)
+        return on, off
+
+    on, off = run_once(run)
+    assert on.iteration_us < off.iteration_us
+    assert on.timeline.hidden_fraction == pytest.approx(1.0)
+
+
+def test_ablation_hybrid_split(run_once):
+    """§10 hybrid: when GPU capacity is artificially constrained, the
+    CPU split happens, keeps the CPU-hostile graphs on the GPUs, and the
+    hybrid beats sending *everything* to the CPU pool."""
+    from repro.baselines import run_torcharrow_baseline
+
+    graphs, schema = build_plan(3, rows=4096)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+
+    def run():
+        hybrid = HybridPlanner(workload, capacity_fill=0.02).plan_and_evaluate(graphs)
+        pure_cpu = run_torcharrow_baseline(graphs, workload)
+        return hybrid, pure_cpu
+
+    hybrid, pure_cpu = run_once(run)
+    assert hybrid.split.num_cpu_features > 0
+    assert hybrid.throughput > pure_cpu.throughput
+    # With ample capacity the split disappears and RAP hides everything.
+    full = HybridPlanner(workload, capacity_fill=0.9).plan_and_evaluate(graphs)
+    assert full.split.num_cpu_features == 0
+    assert full.throughput > hybrid.throughput
+
+
+def test_sensitivity_sweep(run_once):
+    """Calibration-sensitivity sweep: RAP's win must be robust across the
+    efficiency, launch-overhead, and GPU-generation knobs."""
+    from repro.experiments import sensitivity
+
+    results = run_once(sensitivity.run)
+    assert results["robust"]
+    for r in results["rows"]:
+        assert r["rap_over_mps"] > 1.0, r
+        assert 0.9 <= r["rap_vs_ideal"] <= 1.001, r
+
+    print()
+    print(sensitivity.render(results))

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 1 (opportunity and challenge profiling).
+
+(a) training utilization swings, (b) NGram kernel demand vs width,
+(c) MLP-forward latency when overlapped with growing NGram kernels.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_profiles(run_once):
+    results = run_once(fig1.run)
+
+    # Fig. 1a: large underutilized area on both resources.
+    a = results["fig1a"]
+    assert max(a["sm_utilization"]) > 0.85 and min(a["sm_utilization"]) < 0.3
+    assert max(a["dram_utilization"]) > 0.9 and min(a["dram_utilization"]) < 0.4
+
+    # Fig. 1b: demand grows monotonically and saturates by 128 features.
+    sweep = results["fig1b"]
+    sms = [r["sm_utilization"] for r in sweep]
+    assert sms == sorted(sms) and sms[-1] >= 0.99
+
+    # Fig. 1c: overlapped MLP latency rises sharply at large widths while
+    # small widths co-run for free.
+    overlap = results["fig1c"]
+    assert [r["mlp_fwd_us"] for r in overlap] == sorted(r["mlp_fwd_us"] for r in overlap)
+    assert overlap[1]["slowdown"] < 1.02  # 8 features: fits the leftover
+    assert overlap[-1]["slowdown"] > 1.15  # 128 features: heavy contention
+    assert overlap[-1]["mlp_fwd_us"] - overlap[0]["mlp_fwd_us"] > 200.0
+
+    print()
+    print(fig1.render(results))

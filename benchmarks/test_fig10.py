@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 10 (speedup breakdown and optimality).
+
+Six configurations on 8 GPUs across Plans 0-3. Shape checks: both partial
+RAP variants beat MPS, full RAP beats both partials and Sequential by
+about 2x, and lands within a few percent of Ideal (paper: 3.24% gap).
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_breakdown(run_once):
+    results = run_once(fig10.run)
+    for r in results["rows"]:
+        assert r["sequential"] < r["mps"], r["plan"]
+        assert r["mps"] < r["rap"], r["plan"]
+        assert r["rap_wo_mapping"] <= r["rap"] * 1.001, r["plan"]
+        assert r["rap_wo_fusion"] <= r["rap"] * 1.001, r["plan"]
+        assert r["rap"] <= r["ideal"] * 1.001, r["plan"]
+
+    s = results["summary"]
+    assert s["rap_wo_mapping_over_mps"] > 1.05  # paper: 1.19x
+    assert s["rap_wo_fusion_over_mps"] > 1.05  # paper: 1.15x
+    assert 1.5 < s["rap_over_sequential"] < 3.0  # paper: 1.99x
+    assert s["rap_vs_ideal"] > 0.93  # paper: 96.76%
+
+    print()
+    print(fig10.render(results))

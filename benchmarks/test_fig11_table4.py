@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 11 and Table 4 (turning-point study).
+
+Latency stays flat then rises as NGram workload grows; the turning point
+arrives earliest for the naive baseline, later with horizontal fusion, and
+latest for full RAP. Table 4's utilization at the turning points rises in
+the same order.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_turning_points(run_once):
+    results = run_once(fig11.run, workload_sizes=tuple(range(0, 161, 8)))
+    tp = results["turning_points"]
+    cap = max(r["ngram_ops"] for r in results["rows"]) + 1
+    base = tp["baseline"] if tp["baseline"] is not None else cap
+    fusion = tp["fusion"] if tp["fusion"] is not None else cap
+    rap = tp["rap"] if tp["rap"] is not None else cap
+    assert base < fusion < rap, tp
+
+    t4 = results["table4"]
+    assert t4["rap"]["gpu_utilization"] > t4["baseline"]["gpu_utilization"]
+    assert t4["rap"]["sm_utilization"] > t4["baseline"]["sm_utilization"]
+
+    print()
+    print(fig11.render(results))

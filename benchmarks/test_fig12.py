@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 12 (mapping adaptability, skewed workload).
+
+Data-parallel mapping pays per-feature input communication; data-locality
+mapping piles work onto GPU 0; RAP's joint mapping beats both by multiples
+(paper: 4.3x and 4.0x exposed-latency reductions).
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_mapping_adaptability(run_once):
+    results = run_once(fig12.run)
+    s = results["summary"]
+    assert s["dp_over_rap"] > 1.5
+    assert s["dl_over_rap"] > 1.5
+
+    rows = {r["mapping"]: r for r in results["rows"]}
+    assert rows["data_parallel"]["exposed_comm_us"] > 0
+    assert rows["data_locality"]["exposed_comm_us"] == 0
+    # DL's imbalance: GPU 0 carries nearly all the exposure.
+    dl = rows["data_locality"]["per_gpu_exposed_us"]
+    assert max(dl) > 3 * (sorted(dl)[-2] + 1)
+
+    print()
+    print(fig12.render(results))

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (latency abstraction validation).
+
+Standalone latency must track overlapping latency as one consistent trend
+across operator types (5b), while warp count misaligns across types (5c).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_latency_abstraction(run_once):
+    results = run_once(fig5.run)
+    assert results["latency_rank_correlation"] > 0.75
+    # The per-op Fig.-5c misalignment: at the same warp count, Ngram costs
+    # much more than an elementwise op.
+    by_op = {}
+    for r in results["rows"]:
+        by_op.setdefault(r["op"], {})[r["rows"]] = r
+    big = max(by_op["Ngram"])
+    assert by_op["Ngram"][big]["standalone_us"] > 2 * by_op["Logit"][big]["standalone_us"]
+
+    print()
+    print(fig5.render(results))

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 9 (end-to-end training throughput grid).
+
+Runs the full paper grid -- four systems x {2, 4, 8} GPUs x Plans 0-3 x
+batch sizes {4096, 8192} -- and checks the headline speedups' shape:
+RAP ~2x over the CUDA-stream baseline, ~1.4-1.7x over MPS, an order of
+magnitude over TorchArrow, and within a few percent of the ideal.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_end_to_end_grid(run_once):
+    results = run_once(fig9.run)
+    rows = results["rows"]
+    assert len(rows) == 4 * 2 * 3  # plans x batches x gpu counts
+
+    for r in rows:
+        assert r["rap"] > r["torcharrow"], r
+        assert r["rap"] > r["cuda_stream"], r
+        assert r["rap"] > r["mps"], r
+        assert r["rap"] <= r["ideal"] * 1.001, r
+
+    s = results["summary"]
+    # Paper: 17.8x / 2.01x / 1.43x; accept the same order of magnitude.
+    assert s["rap_over_torcharrow"] > 8.0
+    assert 1.5 < s["rap_over_cuda_stream"] < 3.0
+    assert 1.2 < s["rap_over_mps"] < 2.2
+    assert s["rap_vs_ideal"] > 0.93  # paper: 96.76%
+
+    print()
+    print(fig9.render(results))
+
+
+def test_fig9_rap_scaling(run_once):
+    """RAP scales nearly linearly in GPU count (per-plan check)."""
+    results = run_once(fig9.run, gpu_counts=(2, 4, 8), plan_ids=(1, 3), batch_sizes=(4096,))
+    by_plan: dict[int, dict[int, float]] = {}
+    for r in results["rows"]:
+        by_plan.setdefault(r["plan"], {})[r["gpus"]] = r["rap"]
+    for plan, tput in by_plan.items():
+        assert tput[8] > 2.8 * tput[2], f"plan {plan} scaling {tput}"

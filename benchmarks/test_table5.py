@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 5 (latency-predictor accuracy).
+
+Trains per-family GBDTs on ~11K sampled kernel configurations (9:1 split)
+and checks every family clears the paper's 92.9-98.5% accuracy band.
+"""
+
+from repro.experiments import table5
+from repro.experiments.table5 import PAPER_ACCURACY
+
+
+def test_table5_predictor_accuracy(run_once):
+    results = run_once(table5.run)
+    accuracy = results["accuracy"]
+    assert set(accuracy) == set(PAPER_ACCURACY)
+    for family, acc in accuracy.items():
+        assert acc >= 0.90, f"{family}: {acc:.3f}"
+
+    print()
+    print(table5.render(results))

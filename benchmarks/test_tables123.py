@@ -1,0 +1,31 @@
+"""Benchmark: regenerate the setup tables (1: operators, 2: models, 3: plans)."""
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def test_table1_operators(run_once):
+    results = run_once(run_table1)
+    assert len(results["rows"]) == 11
+    print()
+    print(render_table1(results))
+
+
+def test_table2_models(run_once):
+    results = run_once(run_table2)
+    assert {r["dataset"] for r in results["rows"]} == {"Criteo Kaggle", "Criteo Terabyte"}
+    print()
+    print(render_table2(results))
+
+
+def test_table3_plans(run_once):
+    results = run_once(run_table3)
+    assert [r["total_ops"] for r in results["rows"]] == [104, 104, 384, 1548]
+    print()
+    print(render_table3(results))

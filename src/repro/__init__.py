@@ -1,0 +1,75 @@
+"""RAP: Resource-aware Automated GPU Sharing for Multi-GPU DLRM Training
+and Input Preprocessing -- an ASPLOS'24 reproduction.
+
+The package implements the paper's full system on a simulated multi-GPU
+substrate (see DESIGN.md for the substitution table):
+
+- :mod:`repro.gpusim` -- SM/DRAM co-running simulator (the A100 stand-in);
+- :mod:`repro.preprocessing` -- the Table-1 operator library, preprocessing
+  graphs, Table-3 plans, and a synthetic Criteo-schema data generator;
+- :mod:`repro.dlrm` -- hybrid-parallel DLRM training (Table-2 models);
+- :mod:`repro.milp` -- from-scratch branch-and-bound MILP (Gurobi stand-in);
+- :mod:`repro.ml` -- from-scratch gradient-boosted trees (XGBoost stand-in);
+- :mod:`repro.core` -- RAP itself: cost model, horizontal fusion,
+  Algorithm-1 scheduling, joint graph mapping, planning, code generation;
+- :mod:`repro.baselines` -- TorchArrow / sequential / CUDA-stream / MPS;
+- :mod:`repro.experiments` -- harnesses regenerating every table & figure.
+
+Quickstart
+----------
+>>> from repro import build_plan, model_for_plan, TrainingWorkload, RapPlanner
+>>> graphs, schema = build_plan(1, rows=4096)
+>>> workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+>>> report = RapPlanner(workload).plan_and_evaluate(graphs)
+>>> report.training_slowdown  # ~1.0: preprocessing fully hidden
+"""
+
+from .preprocessing import (
+    Batch,
+    GraphSet,
+    SyntheticCriteoDataset,
+    build_plan,
+    build_skewed_plan,
+    execute_graph_set,
+)
+from .dlrm import TrainingWorkload, kaggle_model, model_for_plan, terabyte_model
+from .core import (
+    PreprocessingLatencyPredictor,
+    RapPlan,
+    RapPlanner,
+    RapRunReport,
+    generate_plan_module,
+    train_default_predictor,
+)
+from .baselines import (
+    run_cuda_stream_baseline,
+    run_mps_baseline,
+    run_sequential_baseline,
+    run_torcharrow_baseline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Batch",
+    "GraphSet",
+    "SyntheticCriteoDataset",
+    "build_plan",
+    "build_skewed_plan",
+    "execute_graph_set",
+    "TrainingWorkload",
+    "kaggle_model",
+    "terabyte_model",
+    "model_for_plan",
+    "PreprocessingLatencyPredictor",
+    "RapPlan",
+    "RapPlanner",
+    "RapRunReport",
+    "generate_plan_module",
+    "train_default_predictor",
+    "run_cuda_stream_baseline",
+    "run_mps_baseline",
+    "run_sequential_baseline",
+    "run_torcharrow_baseline",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Handcrafted MPS GPU-sharing baseline (§8.1).
+
+Two processes per GPU -- one training, one preprocessing -- sharing a CUDA
+context through NVIDIA MPS so their kernels execute concurrently. Spatial
+sharing is cleaner than priority streams (lower issue stalls and demand
+inflation), which is why this baseline lands between the stream baseline
+and RAP in the paper's Fig. 9/10, but it remains resource-oblivious:
+kernels are unfused and issued sequentially from the top of the iteration.
+"""
+
+from __future__ import annotations
+
+from ..dlrm.training import TrainingWorkload
+from ..gpusim.device import MPS_POLICY
+from ..preprocessing.executor import estimate_data_preparation
+from ..preprocessing.graph import GraphSet
+from .common import BaselineReport, unfused_kernels_per_gpu
+
+__all__ = ["run_mps_baseline"]
+
+
+def run_mps_baseline(
+    graph_set: GraphSet,
+    workload: TrainingWorkload,
+) -> BaselineReport:
+    kernels_per_gpu, comm_bytes, comm_transfers = unfused_kernels_per_gpu(graph_set, workload)
+    assignments = [({0: kernels} if kernels else {}) for kernels in kernels_per_gpu]
+    result = workload.simulate(
+        assignments_per_gpu=assignments,
+        input_comm_bytes=comm_bytes,
+        input_comm_transfers=max(1, comm_transfers),
+        policy=MPS_POLICY,
+    )
+    prep_us = estimate_data_preparation(graph_set, spec=workload.spec).total_us / workload.num_gpus
+    iteration = result.iteration_time_us + prep_us
+    return BaselineReport(
+        system="mps",
+        iteration_us=iteration,
+        throughput=workload.throughput_from_iteration(iteration),
+        training_time_us=workload.ideal_iteration_us(),
+        exposed_preprocessing_us=result.max_exposed_preprocessing_us,
+        details={
+            "comm_bytes": comm_bytes,
+            "training_slowdown": max(r.training_slowdown for r in result.per_gpu),
+        },
+    )

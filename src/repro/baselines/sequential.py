@@ -1,0 +1,45 @@
+"""Sequential GPU-based preprocessing baseline.
+
+The simplest way to move preprocessing onto trainer GPUs: run the unfused
+preprocessing kernels *before* each training iteration on the same device.
+Every microsecond of preprocessing is exposed -- this is the baseline
+against which the paper reports RAP's 1.99x average speedup, and the
+"Sequential" bar of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from ..dlrm.training import TrainingWorkload
+from ..preprocessing.executor import estimate_data_preparation
+from ..preprocessing.graph import GraphSet
+from .common import BaselineReport, unfused_kernels_per_gpu
+
+__all__ = ["run_sequential_baseline"]
+
+
+def run_sequential_baseline(
+    graph_set: GraphSet,
+    workload: TrainingWorkload,
+) -> BaselineReport:
+    """Iteration = data prep + preprocessing (exposed) + training + comm."""
+    kernels_per_gpu, comm_bytes, comm_transfers = unfused_kernels_per_gpu(graph_set, workload)
+    # All kernels trail after training; equivalently they run before it --
+    # either way they are fully exposed, so simulate them as trailing work.
+    result = workload.simulate(
+        trailing_per_gpu=kernels_per_gpu,
+        input_comm_bytes=comm_bytes,
+        input_comm_transfers=max(1, comm_transfers),
+    )
+    prep_us = estimate_data_preparation(graph_set, spec=workload.spec).total_us / workload.num_gpus
+    iteration = result.iteration_time_us + prep_us
+    return BaselineReport(
+        system="sequential",
+        iteration_us=iteration,
+        throughput=workload.throughput_from_iteration(iteration),
+        training_time_us=workload.ideal_iteration_us(),
+        exposed_preprocessing_us=result.max_exposed_preprocessing_us + prep_us,
+        details={
+            "comm_bytes": comm_bytes,
+            "num_kernels_gpu0": len(kernels_per_gpu[0]) if kernels_per_gpu else 0,
+        },
+    )

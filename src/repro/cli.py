@@ -1,0 +1,162 @@
+"""``rap-repro`` -- command-line interface to the RAP reproduction.
+
+Subcommands
+-----------
+plan
+    Search a RAP co-running plan for one of the Table-3 workloads, print
+    the schedule summary, and optionally write the generated plan module
+    and a Chrome trace of the simulated iteration.
+compare
+    Run RAP against all four baseline systems on one workload.
+experiments
+    Regenerate every paper table and figure (``--quick`` for a smoke run).
+predictor
+    Train the latency predictor offline and print Table-5 accuracy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines import (
+    run_cuda_stream_baseline,
+    run_mps_baseline,
+    run_sequential_baseline,
+    run_torcharrow_baseline,
+)
+from .core import RapPlanner, generate_plan_module
+from .dlrm import TrainingWorkload, model_for_plan
+from .experiments.reporting import format_kv, format_table
+from .gpusim import render_gantt, to_chrome_trace
+from .preprocessing import build_plan
+
+__all__ = ["main", "build_parser"]
+
+
+def _workload(args) -> tuple:
+    graphs, schema = build_plan(args.plan, rows=args.batch)
+    model = model_for_plan(graphs, schema)
+    workload = TrainingWorkload(model, num_gpus=args.gpus, local_batch=args.batch)
+    return graphs, workload
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--plan", type=int, default=1, choices=(0, 1, 2, 3),
+                        help="Table-3 preprocessing plan (default 1)")
+    parser.add_argument("--gpus", type=int, default=4, help="number of simulated GPUs")
+    parser.add_argument("--batch", type=int, default=4096, help="per-GPU batch size")
+
+
+def cmd_plan(args) -> int:
+    graphs, workload = _workload(args)
+    planner = RapPlanner(
+        workload,
+        mapping_strategy=args.mapping,
+        fusion_enabled=not args.no_fusion,
+    )
+    plan = planner.plan(graphs)
+    report = planner.evaluate(plan)
+    print(
+        format_kv(
+            {
+                "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+                "mapping strategy": plan.mapping.strategy,
+                "fusion": "on" if plan.fusion_enabled else "off",
+                "kernels per GPU": plan.num_kernels_per_gpu(),
+                "input comm bytes/iter": plan.input_comm_bytes,
+                "iteration (us)": report.iteration_us,
+                "ideal iteration (us)": workload.ideal_iteration_us(),
+                "training slowdown": report.training_slowdown,
+                "throughput (samples/s)": report.throughput,
+            },
+            title="RAP plan",
+        )
+    )
+    if args.gantt:
+        print()
+        print(render_gantt(report.cluster_result.per_gpu[0]))
+    if args.emit_code:
+        Path(args.emit_code).write_text(generate_plan_module(plan))
+        print(f"\ngenerated plan module -> {args.emit_code}")
+    if args.emit_trace:
+        Path(args.emit_trace).write_text(to_chrome_trace(report.cluster_result))
+        print(f"chrome trace -> {args.emit_trace}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graphs, workload = _workload(args)
+    rap = RapPlanner(workload).plan_and_evaluate(graphs)
+    rows = []
+    for name, runner in (
+        ("TorchArrow (CPU)", run_torcharrow_baseline),
+        ("Sequential GPU", run_sequential_baseline),
+        ("CUDA stream", run_cuda_stream_baseline),
+        ("MPS", run_mps_baseline),
+    ):
+        report = runner(graphs, workload)
+        rows.append([name, report.iteration_us, report.throughput, rap.throughput / report.throughput])
+    rows.append(["RAP", rap.iteration_us, rap.throughput, 1.0])
+    ideal = workload.ideal_throughput()
+    rows.append(["Ideal", workload.ideal_iteration_us(), ideal, rap.throughput / ideal])
+    print(
+        format_table(
+            ["system", "iteration (us)", "throughput (samples/s)", "RAP speedup"],
+            rows,
+            title=f"Plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+        )
+    )
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.runner import run_all
+
+    run_all(quick=args.quick)
+    return 0
+
+
+def cmd_predictor(args) -> int:
+    from .experiments import table5
+
+    results = table5.run(num_samples=args.samples)
+    print(table5.render(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="rap-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="search and inspect a RAP co-running plan")
+    _add_workload_args(p_plan)
+    p_plan.add_argument("--mapping", default="rap", choices=("rap", "data_parallel", "data_locality"))
+    p_plan.add_argument("--no-fusion", action="store_true", help="disable horizontal fusion")
+    p_plan.add_argument("--gantt", action="store_true", help="print an ASCII Gantt of GPU 0")
+    p_plan.add_argument("--emit-code", metavar="FILE", help="write the generated plan module")
+    p_plan.add_argument("--emit-trace", metavar="FILE", help="write a Chrome trace JSON")
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_cmp = sub.add_parser("compare", help="RAP vs the four baselines")
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_exp = sub.add_parser("experiments", help="regenerate every table and figure")
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_pred = sub.add_parser("predictor", help="train the latency predictor (Table 5)")
+    p_pred.add_argument("--samples", type=int, default=11_000)
+    p_pred.set_defaults(fn=cmd_predictor)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

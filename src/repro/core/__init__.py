@@ -1,0 +1,85 @@
+"""``repro.core`` -- RAP's primary contribution.
+
+The co-running cost model (overlapping capacity estimator + ML latency
+predictor), resource-aware horizontal kernel fusion with MILP-backed
+planning, the Algorithm-1 co-running scheduler, inter-batch workload
+interleaving, the §7.2 joint graph-mapping heuristic, the end-to-end
+planner, and plan code generation.
+"""
+
+from .capacity import OverlappingCapacityEstimator, REFERENCE_PROBE, StageCapacity
+from .latency_predictor import (
+    KernelSample,
+    PREDICTOR_FAMILIES,
+    PreprocessingLatencyPredictor,
+    collect_training_samples,
+    kernel_family,
+    kernel_features,
+    train_default_predictor,
+)
+from .cost_model import CoRunCost, CoRunningCostModel, StageCost
+from .fusion import (
+    FusionPlan,
+    HorizontalFusionPass,
+    build_fusion_instance,
+    shard_by_latency,
+    shard_to_fit_demand,
+)
+from .scheduler import CoRunSchedule, ResourceAwareScheduler
+from .interleaving import InterbatchInterleaver, SteadyStateTimeline
+from .mapping import (
+    GraphMapping,
+    MappingEvaluation,
+    RapMapper,
+    map_data_locality,
+    map_data_parallel,
+)
+from .planner import RapPlan, RapPlanner, RapRunReport
+from .codegen import generate_plan_module, load_plan_module
+from .hybrid import HybridPlanner, HybridReport, HybridSplit
+from .adaptation import AdaptationEvent, AdaptiveReplanner, drift_graph_set
+from .serialization import FORMAT_VERSION, plan_from_json, plan_to_json
+
+__all__ = [
+    "OverlappingCapacityEstimator",
+    "REFERENCE_PROBE",
+    "StageCapacity",
+    "KernelSample",
+    "PREDICTOR_FAMILIES",
+    "PreprocessingLatencyPredictor",
+    "collect_training_samples",
+    "kernel_family",
+    "kernel_features",
+    "train_default_predictor",
+    "CoRunCost",
+    "CoRunningCostModel",
+    "StageCost",
+    "FusionPlan",
+    "HorizontalFusionPass",
+    "build_fusion_instance",
+    "shard_by_latency",
+    "shard_to_fit_demand",
+    "CoRunSchedule",
+    "ResourceAwareScheduler",
+    "InterbatchInterleaver",
+    "SteadyStateTimeline",
+    "GraphMapping",
+    "MappingEvaluation",
+    "RapMapper",
+    "map_data_locality",
+    "map_data_parallel",
+    "RapPlan",
+    "RapPlanner",
+    "RapRunReport",
+    "generate_plan_module",
+    "load_plan_module",
+    "HybridPlanner",
+    "HybridReport",
+    "HybridSplit",
+    "AdaptationEvent",
+    "AdaptiveReplanner",
+    "drift_graph_set",
+    "FORMAT_VERSION",
+    "plan_from_json",
+    "plan_to_json",
+]

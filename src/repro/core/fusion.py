@@ -1,0 +1,268 @@
+"""Resource-aware horizontal kernel fusion (§6).
+
+Bridges the preprocessing-graph world and the MILP world: a set of feature
+graphs assigned to one GPU is lowered to a :class:`FusionInstance`
+(operator types + dependency edges), solved for the optimal horizontal
+fusion plan, and the resulting fusion groups are materialized as fused
+:class:`KernelDesc` objects in time-step order -- the ``Fused_Kernels``
+queue consumed by Algorithm 1.
+
+Also provides the two sharding primitives of §6.2:
+
+- :func:`shard_by_latency` -- split a kernel so its first piece fits a
+  remaining overlapping-capacity budget (Algorithm 1, lines 21-26).
+- :func:`shard_to_fit_demand` -- split a kernel into equal pieces whose
+  individual resource demand fits a training stage's leftover, avoiding
+  contention entirely (the "resource-aware" part of fused-kernel sharding).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..gpusim.kernel import KernelDesc, fuse_kernels, shard_kernel
+from ..gpusim.resources import GpuSpec, ResourceVector, A100_SPEC
+from ..milp.branch_and_bound import BranchAndBoundSolver
+from ..milp.fusion_problem import FusionAssignment, FusionInstance, solve_fusion
+from ..preprocessing.graph import FeatureGraph
+
+__all__ = [
+    "FusionPlan",
+    "HorizontalFusionPass",
+    "build_fusion_instance",
+    "shard_by_latency",
+    "shard_to_fit_demand",
+    "fit_kernel_to_leftover",
+]
+
+
+def build_fusion_instance(graphs: Sequence[FeatureGraph]) -> tuple[FusionInstance, list[tuple[int, int]]]:
+    """Lower feature graphs to one fusion instance with global op indices.
+
+    Returns the instance and a map from global op index to
+    ``(graph_index, op_index_within_graph)``.
+    """
+    op_types: list[str] = []
+    deps: list[tuple[int, int]] = []
+    origin: list[tuple[int, int]] = []
+    for g_idx, graph in enumerate(graphs):
+        base = len(op_types)
+        for o_idx, op in enumerate(graph.ops):
+            op_types.append(op.op_name)
+            origin.append((g_idx, o_idx))
+        for src, dst in graph.edges:
+            deps.append((base + src, base + dst))
+    return FusionInstance(op_types=op_types, deps=deps), origin
+
+
+@dataclass
+class FusionPlan:
+    """The fused kernel queue for one GPU, in execution (time-step) order."""
+
+    kernels: list[KernelDesc]
+    assignment: FusionAssignment | None = None
+    fused: bool = True
+
+    @property
+    def total_latency_us(self) -> float:
+        return sum(k.duration_us for k in self.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def max_fusion_degree(self) -> int:
+        return max((int(k.meta.get("members", 1)) for k in self.kernels), default=0)
+
+
+class HorizontalFusionPass:
+    """Turns a GPU's feature graphs into an ordered fused-kernel queue."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = A100_SPEC,
+        enabled: bool = True,
+        exact: bool | None = None,
+        exact_op_limit: int = 20,
+        solver: BranchAndBoundSolver | None = None,
+    ) -> None:
+        self.spec = spec
+        self.enabled = enabled
+        self.exact = exact
+        self.exact_op_limit = exact_op_limit
+        self.solver = solver
+
+    def run(self, graphs: Sequence[FeatureGraph], rows: int) -> FusionPlan:
+        """Fuse the graphs' kernels per the solved fusion assignment.
+
+        With fusion disabled (the ``RAP w/o fusion`` ablation of Fig. 10),
+        kernels are emitted individually in dependency order.
+        """
+        graphs = list(graphs)
+        if not graphs:
+            return FusionPlan(kernels=[], fused=self.enabled)
+        per_graph_kernels = [g.kernels(rows, self.spec) for g in graphs]
+
+        if not self.enabled:
+            instance, origin = build_fusion_instance(graphs)
+            order = sorted(range(len(origin)), key=lambda i: (instance.asap_levels()[i], i))
+            kernels = [per_graph_kernels[origin[i][0]][origin[i][1]] for i in order]
+            return FusionPlan(kernels=kernels, fused=False)
+
+        instance, origin = build_fusion_instance(graphs)
+        assignment = solve_fusion(
+            instance,
+            exact=self.exact,
+            exact_op_limit=self.exact_op_limit,
+            solver=self.solver,
+        )
+        kernels: list[KernelDesc] = []
+        for op_type, step, members in assignment.ordered_groups():
+            member_kernels = [
+                per_graph_kernels[origin[i][0]][origin[i][1]] for i in members
+            ]
+            kernels.append(fuse_kernels(member_kernels, self.spec))
+        return FusionPlan(kernels=kernels, assignment=assignment, fused=True)
+
+
+def shard_by_latency(
+    kernel: KernelDesc,
+    capacity_us: float,
+    min_fraction: float = 0.05,
+) -> tuple[KernelDesc, KernelDesc] | None:
+    """Split ``kernel`` so the first shard's latency is about ``capacity_us``.
+
+    Returns ``None`` when the capacity admits less than ``min_fraction`` of
+    the kernel (sharding overhead would dominate) -- the caller should move
+    on to the next training stage instead, exactly like Algorithm 1 pushes
+    the remainder back onto the queue.
+    """
+    if kernel.duration_us <= 0:
+        return None
+    if kernel.warp_slots > 0 and kernel.waves <= 1.0:
+        # A single-wave kernel cannot be made shorter by splitting: both
+        # shards would keep the full wave-floor body and add a launch.
+        return None
+    fraction = capacity_us / kernel.duration_us
+    if fraction >= 1.0:
+        return None
+    if fraction < min_fraction:
+        return None
+    return shard_kernel(kernel, fraction)
+
+
+def shard_to_fit_demand(
+    kernel: KernelDesc,
+    leftover: ResourceVector,
+    max_pieces: int = 16,
+) -> list[KernelDesc] | None:
+    """Split ``kernel`` into equal pieces whose demand fits ``leftover``.
+
+    This is what makes the schedule *contention-free* on the device: a
+    piece whose (SM, DRAM) demand fits inside the training stage's leftover
+    co-runs at full speed with zero training slowdown.
+
+    Sharding below one wave per piece is allowed but not free: a sub-wave
+    shard still costs a full wave of execution (warps carry fixed
+    per-thread work), so the pieces' total latency exceeds the parent's.
+    The shards report their true inflated durations and the scheduler
+    prices them against stage capacity -- hiding inflated work is still a
+    win over exposing the un-inflated kernel. Returns ``None`` when the
+    leftover is so thin that more than ``max_pieces`` pieces would be
+    needed (each piece also pays launch overhead, so unbounded splitting
+    is counterproductive).
+    """
+    sm_demand, dram_demand = kernel.demand.sm, kernel.demand.dram
+    if sm_demand <= leftover.sm + 1e-12 and dram_demand <= leftover.dram + 1e-12:
+        return [kernel]
+    if (sm_demand > 0 and leftover.sm <= 0) or (dram_demand > 0 and leftover.dram <= 0):
+        return None
+
+    if kernel.warp_slots > 0 and kernel.num_warps > 0:
+        # Pick the piece size so per-piece demand fits both resources. A
+        # piece's SM demand is warps/slots; its DRAM demand scales with its
+        # share of the parent's resident warps.
+        limits = [float(kernel.num_warps)]
+        if sm_demand > 0:
+            limits.append(kernel.warp_slots * leftover.sm)
+        if dram_demand > 0:
+            limits.append(kernel.warp_slots * min(1.0, leftover.dram / dram_demand))
+        max_piece_warps = min(limits)
+        if max_piece_warps < 1.0:
+            return None
+        pieces = math.ceil(kernel.num_warps / max_piece_warps)
+    else:
+        ratios = [leftover.sm / sm_demand if sm_demand > 0 else math.inf,
+                  leftover.dram / dram_demand if dram_demand > 0 else math.inf]
+        ratio = min(ratios)
+        if ratio <= 0.0:
+            return None
+        pieces = math.ceil(1.0 / ratio)
+    if pieces > max_pieces:
+        return None
+    fraction = 1.0 / pieces
+    shards: list[KernelDesc] = []
+    remaining = kernel
+    for i in range(pieces - 1):
+        remaining_fraction = fraction / (1.0 - i * fraction)
+        first, remaining = shard_kernel(remaining, remaining_fraction)
+        shards.append(first)
+    shards.append(remaining)
+    return shards
+
+
+def fit_kernel_to_leftover(
+    kernel: KernelDesc,
+    leftover: ResourceVector,
+    spec: GpuSpec = A100_SPEC,
+    max_pieces: int = 64,
+) -> list[KernelDesc] | None:
+    """Make ``kernel`` co-runnable within ``leftover``, the paper's way.
+
+    §6.2: "RAP shards the kernel and reduces the kernel fusion degree until
+    the kernel is small enough to co-run." The preference order is:
+
+    1. The kernel already fits -- use it as is.
+    2. The kernel is fused and its *members* can be regrouped into smaller
+       fused kernels whose summed demand fits. This keeps every member at
+       its natural wave efficiency (no latency inflation beyond the extra
+       launches), so it is always preferred over warp-level splitting.
+    3. Warp-level sharding (:func:`shard_to_fit_demand`), which may cost
+       sub-wave inflation.
+
+    Returns the replacement kernel list, or ``None`` when even a single
+    member cannot be made to fit.
+    """
+    if kernel.demand.fits_within(leftover):
+        return [kernel]
+    members = kernel.meta.get("member_kernels") if kernel.meta else None
+    if not members:
+        return shard_to_fit_demand(kernel, leftover, max_pieces)
+
+    pieces: list[KernelDesc] = []
+    chunk: list[KernelDesc] = []
+    chunk_demand = ResourceVector(0.0, 0.0)
+    for member in members:
+        candidate = chunk_demand + member.demand
+        if chunk and not candidate.fits_within(leftover):
+            pieces.append(fuse_kernels(chunk, spec) if len(chunk) > 1 else chunk[0])
+            chunk = []
+            chunk_demand = ResourceVector(0.0, 0.0)
+            candidate = member.demand
+        if not member.demand.fits_within(leftover):
+            # Even alone the member is too wide: warp-shard it.
+            shards = shard_to_fit_demand(member, leftover, max_pieces)
+            if shards is None:
+                return None
+            pieces.extend(shards)
+            continue
+        chunk.append(member)
+        chunk_demand = candidate
+    if chunk:
+        pieces.append(fuse_kernels(chunk, spec) if len(chunk) > 1 else chunk[0])
+    if len(pieces) > max_pieces:
+        return None
+    return pieces

@@ -1,0 +1,196 @@
+"""The end-to-end RAP planner (§4, Fig. 4).
+
+Ties the whole pipeline together:
+
+- **Offline**: train the preprocessing latency predictor from sampled
+  kernel measurements (:func:`repro.core.latency_predictor.train_default_predictor`),
+  or run with the oracle cost model (true simulated latencies) when
+  isolating scheduling quality from predictor error.
+- **Online**: profile the training workload's overlapping capacity, map
+  the preprocessing graphs across GPUs, fuse horizontally per GPU, build
+  the Algorithm-1 co-running schedule, and assemble the executable plan.
+
+The planner also exposes the paper's ablations: mapping strategy
+(``"rap"`` / ``"data_parallel"`` / ``"data_locality"``), horizontal fusion
+on/off, and inter-batch interleaving on/off -- the knobs behind Fig. 10
+and Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dlrm.training import TrainingWorkload
+from ..gpusim.cluster import ClusterIterationResult
+from ..gpusim.device import RAP_POLICY, CoRunPolicy
+from ..gpusim.kernel import KernelDesc
+from ..preprocessing.executor import DataPreparation, estimate_data_preparation
+from ..preprocessing.graph import GraphSet
+from .capacity import OverlappingCapacityEstimator
+from .cost_model import CoRunningCostModel
+from .fusion import HorizontalFusionPass
+from .interleaving import InterbatchInterleaver, SteadyStateTimeline
+from .latency_predictor import PreprocessingLatencyPredictor
+from .mapping import (
+    GraphMapping,
+    MappingEvaluation,
+    RapMapper,
+    map_data_locality,
+    map_data_parallel,
+)
+from .scheduler import ResourceAwareScheduler
+
+__all__ = ["RapPlan", "RapRunReport", "RapPlanner"]
+
+MAPPING_STRATEGIES = ("rap", "data_parallel", "data_locality")
+
+
+@dataclass
+class RapPlan:
+    """A fully searched co-running plan, ready to execute or simulate."""
+
+    workload: TrainingWorkload
+    graph_set: GraphSet
+    mapping_eval: MappingEvaluation
+    assignments_per_gpu: list[dict[int, list[KernelDesc]]]
+    trailing_per_gpu: list[list[KernelDesc]]
+    data_prep_per_gpu: list[DataPreparation]
+    fusion_enabled: bool
+    interleaving_enabled: bool
+
+    @property
+    def mapping(self) -> GraphMapping:
+        return self.mapping_eval.mapping
+
+    @property
+    def input_comm_bytes(self) -> float:
+        return self.mapping.input_comm_bytes
+
+    @property
+    def input_comm_transfers(self) -> int:
+        return self.mapping.input_comm_transfers
+
+    @property
+    def predicted_exposed_us(self) -> float:
+        return self.mapping_eval.objective_us
+
+    @property
+    def max_data_prep_us(self) -> float:
+        return max((p.total_us for p in self.data_prep_per_gpu), default=0.0)
+
+    def num_kernels_per_gpu(self) -> list[int]:
+        return [
+            sum(len(v) for v in a.values()) + len(t)
+            for a, t in zip(self.assignments_per_gpu, self.trailing_per_gpu)
+        ]
+
+
+@dataclass
+class RapRunReport:
+    """Measured (simulated) outcome of executing a plan for one iteration."""
+
+    plan: RapPlan
+    cluster_result: ClusterIterationResult
+    timeline: SteadyStateTimeline
+
+    @property
+    def iteration_us(self) -> float:
+        return self.timeline.iteration_us
+
+    @property
+    def throughput(self) -> float:
+        return self.plan.workload.throughput_from_iteration(self.iteration_us)
+
+    @property
+    def exposed_preprocessing_us(self) -> float:
+        return self.cluster_result.max_exposed_preprocessing_us
+
+    @property
+    def training_slowdown(self) -> float:
+        ideal = self.plan.workload.ideal_iteration_us()
+        return self.iteration_us / ideal if ideal > 0 else 1.0
+
+
+class RapPlanner:
+    """Searches and evaluates RAP co-running plans for a training workload."""
+
+    def __init__(
+        self,
+        workload: TrainingWorkload,
+        predictor: PreprocessingLatencyPredictor | None = None,
+        mapping_strategy: str = "rap",
+        fusion_enabled: bool = True,
+        interleaving_enabled: bool = True,
+        exact_fusion: bool | None = None,
+        max_mapping_moves: int | None = None,
+    ) -> None:
+        if mapping_strategy not in MAPPING_STRATEGIES:
+            raise ValueError(
+                f"mapping_strategy must be one of {MAPPING_STRATEGIES}, got {mapping_strategy!r}"
+            )
+        self.workload = workload
+        self.mapping_strategy = mapping_strategy
+        self.fusion_enabled = fusion_enabled
+        self.interleaving_enabled = interleaving_enabled
+        self.estimator = OverlappingCapacityEstimator(workload.spec)
+        self.cost_model = CoRunningCostModel(self.estimator, predictor)
+        self.fusion = HorizontalFusionPass(
+            workload.spec, enabled=fusion_enabled, exact=exact_fusion
+        )
+        self.scheduler = ResourceAwareScheduler(self.cost_model)
+        self.mapper = RapMapper(
+            workload, self.cost_model, self.fusion, self.scheduler, max_moves=max_mapping_moves
+        )
+        self.interleaver = InterbatchInterleaver(enabled=interleaving_enabled)
+
+    # ------------------------------------------------------------------
+
+    def plan(self, graph_set: GraphSet) -> RapPlan:
+        """Search the mapping + fusion + schedule for one workload."""
+        if self.mapping_strategy == "rap":
+            evaluation = self.mapper.optimize(graph_set)
+        elif self.mapping_strategy == "data_parallel":
+            evaluation = self.mapper.evaluate(graph_set, map_data_parallel(graph_set, self.workload))
+        else:
+            evaluation = self.mapper.evaluate(graph_set, map_data_locality(graph_set, self.workload))
+
+        assignments = [dict(s.assignments) for s in evaluation.schedules]
+        trailing = [list(s.trailing) for s in evaluation.schedules]
+        prep = []
+        for gpu in range(self.workload.num_gpus):
+            entries = evaluation.mapping.graphs_on_gpu(graph_set, gpu)
+            if entries:
+                graphs = [g for g, _ in entries]
+                rows = max(r for _, r in entries)
+                prep.append(estimate_data_preparation(graphs, rows=rows, spec=self.workload.spec))
+            else:
+                prep.append(DataPreparation(0.0, 0.0, 0.0))
+        return RapPlan(
+            workload=self.workload,
+            graph_set=graph_set,
+            mapping_eval=evaluation,
+            assignments_per_gpu=assignments,
+            trailing_per_gpu=trailing,
+            data_prep_per_gpu=prep,
+            fusion_enabled=self.fusion_enabled,
+            interleaving_enabled=self.interleaving_enabled,
+        )
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, plan: RapPlan, policy: CoRunPolicy = RAP_POLICY) -> RapRunReport:
+        """Simulate one steady-state iteration of the plan on the cluster."""
+        result = self.workload.simulate(
+            assignments_per_gpu=plan.assignments_per_gpu,
+            trailing_per_gpu=plan.trailing_per_gpu,
+            input_comm_bytes=plan.input_comm_bytes,
+            input_comm_transfers=max(1, plan.input_comm_transfers),
+            policy=policy,
+        )
+        prep = max(plan.data_prep_per_gpu, key=lambda p: p.total_us, default=DataPreparation(0, 0, 0))
+        timeline = self.interleaver.steady_state(result.iteration_time_us, prep)
+        return RapRunReport(plan=plan, cluster_result=result, timeline=timeline)
+
+    def plan_and_evaluate(self, graph_set: GraphSet) -> RapRunReport:
+        return self.evaluate(self.plan(graph_set))

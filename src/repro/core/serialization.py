@@ -1,0 +1,145 @@
+"""Plan serialization: persist searched co-running plans as JSON.
+
+A production deployment searches a plan once (offline, §4) and reuses it
+across many training runs; the artifact must survive process restarts.
+This module round-trips a :class:`repro.core.planner.RapPlan`'s decision
+content -- the graph mapping, per-stage kernel assignments, trailing
+kernels, and communication metadata -- through plain JSON.
+
+Kernel descriptors serialize flat (fused-member descriptors are rebuilt as
+plain kernels on load); the deserialized plan simulates identically
+because the device model only consumes each kernel's own fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..dlrm.training import TrainingWorkload
+from ..gpusim.kernel import KernelDesc
+from ..gpusim.resources import ResourceVector
+from ..preprocessing.executor import DataPreparation
+from ..preprocessing.graph import GraphSet
+from .mapping import GraphMapping, MappingEvaluation
+from .planner import RapPlan
+
+__all__ = ["plan_to_json", "plan_from_json", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
+    meta = {k: v for k, v in kernel.meta.items() if k != "member_kernels"}
+    if "params" in meta:
+        meta["params"] = list(meta["params"])
+    return {
+        "name": kernel.name,
+        "duration_us": kernel.duration_us,
+        "sm": kernel.demand.sm,
+        "dram": kernel.demand.dram,
+        "num_warps": kernel.num_warps,
+        "tag": kernel.tag,
+        "launch_us": kernel.launch_us,
+        "warp_slots": kernel.warp_slots,
+        "meta": meta,
+    }
+
+
+def _kernel_from_dict(data: dict[str, Any]) -> KernelDesc:
+    meta = dict(data.get("meta", {}))
+    if "params" in meta:
+        meta["params"] = tuple(meta["params"])
+    return KernelDesc(
+        name=data["name"],
+        duration_us=data["duration_us"],
+        demand=ResourceVector(sm=data["sm"], dram=data["dram"]),
+        num_warps=data["num_warps"],
+        tag=data["tag"],
+        launch_us=data["launch_us"],
+        warp_slots=data["warp_slots"],
+        meta=meta,
+    )
+
+
+def plan_to_json(plan: RapPlan, indent: int | None = 2) -> str:
+    """Serialize the decision content of a plan."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "workload": {
+            "model": plan.workload.config.name,
+            "num_gpus": plan.workload.num_gpus,
+            "local_batch": plan.workload.local_batch,
+        },
+        "mapping": {
+            "strategy": plan.mapping.strategy,
+            "num_gpus": plan.mapping.num_gpus,
+            "placements": {k: [list(p) for p in v] for k, v in plan.mapping.placements.items()},
+            "input_comm_bytes": plan.mapping.input_comm_bytes,
+            "input_comm_transfers": plan.mapping.input_comm_transfers,
+        },
+        "assignments_per_gpu": [
+            {str(idx): [_kernel_to_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
+            for per_gpu in plan.assignments_per_gpu
+        ],
+        "trailing_per_gpu": [
+            [_kernel_to_dict(k) for k in kernels] for kernels in plan.trailing_per_gpu
+        ],
+        "data_prep_per_gpu": [
+            {"alloc_us": p.alloc_us, "h2d_copy_us": p.h2d_copy_us, "dispatch_us": p.dispatch_us}
+            for p in plan.data_prep_per_gpu
+        ],
+        "fusion_enabled": plan.fusion_enabled,
+        "interleaving_enabled": plan.interleaving_enabled,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def plan_from_json(
+    source: str,
+    workload: TrainingWorkload,
+    graph_set: GraphSet,
+) -> RapPlan:
+    """Rebuild a plan against a live workload and graph set.
+
+    The workload must match the serialized shape (GPU count and batch
+    size); the graph set is re-attached for code generation.
+    """
+    data = json.loads(source)
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {version!r}")
+    saved = data["workload"]
+    if saved["num_gpus"] != workload.num_gpus or saved["local_batch"] != workload.local_batch:
+        raise ValueError(
+            "workload shape mismatch: plan was searched for "
+            f"{saved['num_gpus']} GPUs x batch {saved['local_batch']}, got "
+            f"{workload.num_gpus} x {workload.local_batch}"
+        )
+    m = data["mapping"]
+    mapping = GraphMapping(
+        strategy=m["strategy"],
+        num_gpus=m["num_gpus"],
+        placements={k: [tuple(p) for p in v] for k, v in m["placements"].items()},
+        input_comm_bytes=m["input_comm_bytes"],
+        input_comm_transfers=m["input_comm_transfers"],
+    )
+    assignments = [
+        {int(idx): [_kernel_from_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
+        for per_gpu in data["assignments_per_gpu"]
+    ]
+    trailing = [
+        [_kernel_from_dict(k) for k in kernels] for kernels in data["trailing_per_gpu"]
+    ]
+    prep = [DataPreparation(**p) for p in data["data_prep_per_gpu"]]
+    evaluation = MappingEvaluation(mapping=mapping, schedules=[], comm_us=0.0)
+    return RapPlan(
+        workload=workload,
+        graph_set=graph_set,
+        mapping_eval=evaluation,
+        assignments_per_gpu=assignments,
+        trailing_per_gpu=trailing,
+        data_prep_per_gpu=prep,
+        fusion_enabled=data["fusion_enabled"],
+        interleaving_enabled=data["interleaving_enabled"],
+    )

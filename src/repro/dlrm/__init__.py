@@ -1,0 +1,41 @@
+"""``repro.dlrm`` -- hybrid-parallel DLRM training substrate.
+
+Model configurations matching the paper's Table 2, embedding-table
+placement (the model-parallel half of hybrid parallelism), the per-
+iteration stage pipeline with resource profiles, and the multi-GPU
+training workload object the scheduling machinery consumes.
+"""
+
+from .model import (
+    DLRMConfig,
+    EmbeddingTableConfig,
+    MlpArch,
+    kaggle_model,
+    model_for_plan,
+    terabyte_model,
+)
+from .embedding import EmbeddingPlacement, place_tables
+from .stages import DEFAULT_CALIBRATION, StageCalibration, build_iteration_stages
+from .training import TrainingWorkload
+from .numerics import EmbeddingBag, Interaction, Mlp, MlpLayer, NumpyDLRM, bce_loss
+
+__all__ = [
+    "DLRMConfig",
+    "EmbeddingTableConfig",
+    "MlpArch",
+    "kaggle_model",
+    "terabyte_model",
+    "model_for_plan",
+    "EmbeddingPlacement",
+    "place_tables",
+    "StageCalibration",
+    "DEFAULT_CALIBRATION",
+    "build_iteration_stages",
+    "TrainingWorkload",
+    "EmbeddingBag",
+    "Interaction",
+    "Mlp",
+    "MlpLayer",
+    "NumpyDLRM",
+    "bce_loss",
+]

@@ -1,0 +1,303 @@
+"""Numerical DLRM training: real forward/backward math in numpy.
+
+The rest of :mod:`repro.dlrm` models training *performance* (stage times,
+resource profiles). This module supplies the *functional* counterpart: an
+actually trainable DLRM -- bottom MLP, embedding tables with pooled
+lookups, dot-product feature interaction, top MLP, binary cross-entropy --
+with hand-derived backward passes and SGD, so the end-to-end pipeline
+(synthetic Criteo data -> preprocessing graphs -> model update) can be run
+and verified numerically (see ``examples/train_dlrm_numerics.py`` and the
+gradient-check tests).
+
+Everything is plain numpy; shapes follow the Table-2 configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..preprocessing.data import Batch, SparseColumn
+from .model import DLRMConfig
+
+__all__ = ["MlpLayer", "Mlp", "EmbeddingBag", "Interaction", "NumpyDLRM", "bce_loss"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+@dataclass
+class MlpLayer:
+    """One fully connected layer with optional ReLU."""
+
+    weight: np.ndarray  # (in, out)
+    bias: np.ndarray  # (out,)
+    relu: bool = True
+    # Saved activations for backward.
+    _x: np.ndarray | None = field(default=None, repr=False)
+    _z: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def init(cls, in_dim: int, out_dim: int, rng: np.random.Generator, relu: bool = True) -> "MlpLayer":
+        scale = np.sqrt(2.0 / in_dim)
+        return cls(
+            weight=rng.normal(0.0, scale, size=(in_dim, out_dim)),
+            bias=np.zeros(out_dim),
+            relu=relu,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        z = x @ self.weight + self.bias
+        self._z = z
+        return _relu(z) if self.relu else z
+
+    def backward(self, grad_out: np.ndarray, lr: float) -> np.ndarray:
+        if self._x is None or self._z is None:
+            raise RuntimeError("backward called before forward")
+        if self.relu:
+            grad_out = grad_out * (self._z > 0)
+        grad_w = self._x.T @ grad_out
+        grad_b = grad_out.sum(axis=0)
+        grad_x = grad_out @ self.weight.T
+        self.weight -= lr * grad_w
+        self.bias -= lr * grad_b
+        return grad_x
+
+    @property
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+@dataclass
+class Mlp:
+    """A stack of fully connected layers; the last layer may skip ReLU."""
+
+    layers: list[MlpLayer]
+
+    @classmethod
+    def init(
+        cls,
+        in_dim: int,
+        widths: tuple[int, ...],
+        rng: np.random.Generator,
+        final_relu: bool = True,
+    ) -> "Mlp":
+        layers = []
+        dims = (in_dim,) + tuple(widths)
+        for i in range(len(widths)):
+            is_last = i == len(widths) - 1
+            layers.append(MlpLayer.init(dims[i], dims[i + 1], rng, relu=final_relu or not is_last))
+        return cls(layers=layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray, lr: float) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad, lr)
+        return grad
+
+    @property
+    def num_params(self) -> int:
+        return sum(l.num_params for l in self.layers)
+
+
+class EmbeddingBag:
+    """One embedding table with sum-pooled lookups and sparse SGD updates."""
+
+    def __init__(self, hash_size: int, dim: int, rng: np.random.Generator) -> None:
+        if hash_size <= 0 or dim <= 0:
+            raise ValueError("hash_size and dim must be positive")
+        self.table = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(hash_size, dim))
+        self._ids: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+
+    @property
+    def hash_size(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.table.shape[1]
+
+    def forward(self, column: SparseColumn) -> np.ndarray:
+        """Sum-pool the embedding rows of each sample's id list."""
+        ids = column.values
+        if ids.size and (ids.min() < 0 or ids.max() >= self.hash_size):
+            raise IndexError(
+                f"ids outside table of {self.hash_size} rows: "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        self._ids = ids
+        self._offsets = column.offsets
+        pooled = np.zeros((column.num_rows, self.dim))
+        if ids.size:
+            rows = self.table[ids]
+            sample_of = np.repeat(np.arange(column.num_rows), column.lengths())
+            np.add.at(pooled, sample_of, rows)
+        return pooled
+
+    def backward(self, grad_pooled: np.ndarray, lr: float) -> None:
+        """Scatter the pooled gradient back into the touched rows (sparse SGD)."""
+        if self._ids is None or self._offsets is None:
+            raise RuntimeError("backward called before forward")
+        if self._ids.size == 0:
+            return
+        lengths = np.diff(self._offsets)
+        sample_of = np.repeat(np.arange(len(lengths)), lengths)
+        np.subtract.at(self.table, self._ids, lr * grad_pooled[sample_of])
+
+
+class Interaction:
+    """DLRM's dot-product feature interaction.
+
+    Stacks the bottom-MLP output with every pooled embedding into a
+    (batch, F, dim) tensor, takes all pairwise dot products, and
+    concatenates the upper triangle with the bottom-MLP output.
+    """
+
+    def __init__(self) -> None:
+        self._stack: np.ndarray | None = None
+        self._tri: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, dense_out: np.ndarray, pooled: list[np.ndarray]) -> np.ndarray:
+        stack = np.stack([dense_out] + pooled, axis=1)  # (B, F, D)
+        self._stack = stack
+        f = stack.shape[1]
+        dots = np.einsum("bfd,bgd->bfg", stack, stack)
+        iu = np.triu_indices(f, k=1)
+        self._tri = iu
+        return np.concatenate([dense_out, dots[:, iu[0], iu[1]]], axis=1)
+
+    def backward(self, grad: np.ndarray, dense_dim: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        if self._stack is None or self._tri is None:
+            raise RuntimeError("backward called before forward")
+        stack = self._stack
+        b, f, d = stack.shape
+        grad_dense_direct = grad[:, :dense_dim]
+        grad_dots_flat = grad[:, dense_dim:]
+        grad_dots = np.zeros((b, f, f))
+        iu = self._tri
+        grad_dots[:, iu[0], iu[1]] = grad_dots_flat
+        # d(x_f . x_g)/dx_f = x_g and symmetric.
+        sym = grad_dots + grad_dots.transpose(0, 2, 1)
+        grad_stack = np.einsum("bfg,bgd->bfd", sym, stack)
+        grad_dense = grad_stack[:, 0, :] + grad_dense_direct
+        grad_pooled = [grad_stack[:, i, :] for i in range(1, f)]
+        return grad_dense, grad_pooled
+
+
+def bce_loss(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Binary cross-entropy with logits; returns (mean loss, dL/dlogits)."""
+    logits = logits.reshape(-1)
+    labels = labels.reshape(-1)
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must align")
+    p = 1.0 / (1.0 + np.exp(-logits))
+    eps = 1e-12
+    loss = float(-np.mean(labels * np.log(p + eps) + (1 - labels) * np.log(1 - p + eps)))
+    grad = (p - labels) / len(labels)
+    return loss, grad
+
+
+class NumpyDLRM:
+    """A trainable DLRM matching a :class:`repro.dlrm.model.DLRMConfig`.
+
+    ``dense_inputs`` / ``sparse_inputs`` name the batch columns the model
+    reads -- typically the *outputs* of a preprocessing graph set, closing
+    the loop between RAP's preprocessing pipeline and actual training.
+    """
+
+    def __init__(
+        self,
+        config: DLRMConfig,
+        dense_inputs: list[str],
+        sparse_inputs: dict[str, str],
+        seed: int = 0,
+        table_size_cap: int | None = 200_000,
+    ) -> None:
+        if len(dense_inputs) != config.dense_arch.input_dim:
+            raise ValueError(
+                f"model expects {config.dense_arch.input_dim} dense inputs, got {len(dense_inputs)}"
+            )
+        missing = [t.name for t in config.tables if t.name not in sparse_inputs]
+        if missing:
+            raise ValueError(f"no input column mapped for tables: {missing[:3]}...")
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.dense_inputs = list(dense_inputs)
+        self.sparse_inputs = dict(sparse_inputs)
+        # The bottom MLP projects to the embedding dimension so its output
+        # participates in the dot-product interaction (the projection layer
+        # TorchRec's DLRM appends implicitly; Table 2 lists only the hidden
+        # widths).
+        bottom_widths = tuple(config.dense_arch.layers) + (config.embedding_dim,)
+        self.bottom = Mlp.init(config.dense_arch.input_dim, bottom_widths, rng)
+        cap = table_size_cap or 10**12
+        self.tables = {
+            t.name: EmbeddingBag(min(t.hash_size, cap), config.embedding_dim, rng)
+            for t in config.tables
+        }
+        self.interaction = Interaction()
+        f = config.num_tables + 1
+        interaction_width = config.embedding_dim + f * (f - 1) // 2
+        self.top = Mlp.init(interaction_width, config.top_arch_layers, rng)
+        self.head = MlpLayer.init(config.top_arch_layers[-1], 1, rng, relu=False)
+
+    # ------------------------------------------------------------------
+
+    def _gather_dense(self, batch: Batch) -> np.ndarray:
+        cols = []
+        for name in self.dense_inputs:
+            col = batch.column(name)
+            cols.append(np.nan_to_num(np.asarray(col.values, dtype=np.float64)))
+        return np.stack(cols, axis=1)
+
+    def forward(self, batch: Batch) -> np.ndarray:
+        """Compute click logits for one batch."""
+        dense = self._gather_dense(batch)
+        dense_out = self.bottom.forward(dense)
+        pooled = []
+        self._table_order = []
+        for table in self.config.tables:
+            column = batch.column(self.sparse_inputs[table.name])
+            if not isinstance(column, SparseColumn):
+                raise TypeError(f"input for table {table.name!r} is not sparse")
+            bag = self.tables[table.name]
+            ids = column
+            if column.values.size and column.values.max() >= bag.hash_size:
+                ids = SparseColumn(
+                    column.name,
+                    column.offsets,
+                    column.values % bag.hash_size,
+                    bag.hash_size,
+                )
+            pooled.append(bag.forward(ids))
+            self._table_order.append(table.name)
+        interacted = self.interaction.forward(dense_out, pooled)
+        hidden = self.top.forward(interacted)
+        return self.head.forward(hidden).reshape(-1)
+
+    def train_step(self, batch: Batch, labels: np.ndarray, lr: float = 0.05) -> float:
+        """One SGD step; returns the batch's BCE loss."""
+        logits = self.forward(batch)
+        loss, grad_logits = bce_loss(logits, labels)
+        grad = self.head.backward(grad_logits.reshape(-1, 1), lr)
+        grad = self.top.backward(grad, lr)
+        grad_dense, grad_pooled = self.interaction.backward(grad, self.config.embedding_dim)
+        self.bottom.backward(grad_dense, lr)
+        for name, g in zip(self._table_order, grad_pooled):
+            self.tables[name].backward(g, lr)
+        return loss
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-self.forward(batch)))
+
+    @property
+    def num_mlp_params(self) -> int:
+        return self.bottom.num_params + self.top.num_params + self.head.num_params

@@ -1,0 +1,107 @@
+"""The multi-GPU DLRM training workload object.
+
+:class:`TrainingWorkload` bundles a model config, an embedding placement,
+a batch size, and a simulated cluster into the object every scheduling
+policy consumes: it exposes each GPU's stage pipeline, the standalone
+("ideal", preprocessing-free) iteration time, and a ``simulate`` entry
+point that co-runs arbitrary per-GPU preprocessing kernel assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..gpusim.cluster import ClusterIterationResult, MultiGpuCluster
+from ..gpusim.device import CoRunPolicy, RAP_POLICY, StageProfile
+from ..gpusim.kernel import KernelDesc
+from ..gpusim.resources import GpuSpec, A100_SPEC
+from .embedding import EmbeddingPlacement, place_tables
+from .model import DLRMConfig
+from .stages import DEFAULT_CALIBRATION, StageCalibration, build_iteration_stages
+
+__all__ = ["TrainingWorkload"]
+
+
+@dataclass
+class TrainingWorkload:
+    """A hybrid-parallel DLRM training job on a simulated multi-GPU node."""
+
+    config: DLRMConfig
+    num_gpus: int
+    local_batch: int
+    spec: GpuSpec = A100_SPEC
+    calibration: StageCalibration = DEFAULT_CALIBRATION
+    placement: EmbeddingPlacement | None = None
+    cluster: MultiGpuCluster = field(init=False)
+    _stage_cache: dict[int, list[StageProfile]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.placement is None:
+            self.placement = place_tables(self.config, self.num_gpus)
+        if self.placement.num_gpus != self.num_gpus:
+            raise ValueError("placement GPU count does not match workload GPU count")
+        self.cluster = MultiGpuCluster(self.num_gpus, self.spec)
+
+    # ------------------------------------------------------------------
+    # Stage pipelines
+    # ------------------------------------------------------------------
+
+    def stages_for_gpu(self, gpu_id: int) -> list[StageProfile]:
+        if gpu_id not in self._stage_cache:
+            self._stage_cache[gpu_id] = build_iteration_stages(
+                self.config,
+                self.placement,
+                self.local_batch,
+                gpu_id,
+                spec=self.spec,
+                interconnect=self.cluster.interconnect,
+                calibration=self.calibration,
+            )
+        return self._stage_cache[gpu_id]
+
+    def all_stage_pipelines(self) -> list[list[StageProfile]]:
+        return [self.stages_for_gpu(g) for g in range(self.num_gpus)]
+
+    @property
+    def global_batch(self) -> int:
+        return self.local_batch * self.num_gpus
+
+    # ------------------------------------------------------------------
+    # Ideal (preprocessing-free) performance
+    # ------------------------------------------------------------------
+
+    def ideal_iteration_us(self) -> float:
+        """Standalone iteration time: the paper's "Ideal" upper bound."""
+        result = self.cluster.simulate_iteration(self.all_stage_pipelines())
+        return result.iteration_time_us
+
+    def ideal_throughput(self) -> float:
+        """Ideal training throughput in samples per second (global batch)."""
+        it = self.ideal_iteration_us()
+        return self.global_batch / (it * 1e-6) if it > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Co-running simulation
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        assignments_per_gpu: Sequence[Mapping[int, Sequence[KernelDesc]]] | None = None,
+        trailing_per_gpu: Sequence[Sequence[KernelDesc]] | None = None,
+        input_comm_bytes: float = 0.0,
+        input_comm_transfers: int = 1,
+        policy: CoRunPolicy = RAP_POLICY,
+    ) -> ClusterIterationResult:
+        """Simulate one iteration co-running the given preprocessing kernels."""
+        return self.cluster.simulate_iteration(
+            self.all_stage_pipelines(),
+            assignments_per_gpu=assignments_per_gpu,
+            trailing_per_gpu=trailing_per_gpu,
+            input_comm_bytes=input_comm_bytes,
+            input_comm_transfers=input_comm_transfers,
+            policy=policy,
+        )
+
+    def throughput_from_iteration(self, iteration_us: float) -> float:
+        return self.global_batch / (iteration_us * 1e-6) if iteration_us > 0 else 0.0

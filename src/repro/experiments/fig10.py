@@ -1,0 +1,64 @@
+"""Figure 10: speedup breakdown and optimality analysis.
+
+Six configurations on the 8-GPU node: Sequential, MPS, RAP without the
+inter-GPU mapping optimization, RAP without horizontal fusion, full RAP,
+and the preprocessing-free Ideal. The paper reports RAP w/o mapping and
+RAP w/o fusion at 1.19x and 1.15x over MPS, and full RAP within 3.24% of
+Ideal.
+"""
+
+from __future__ import annotations
+
+from ..baselines import run_mps_baseline, run_sequential_baseline
+from ..core import RapPlanner
+from ..dlrm import TrainingWorkload, model_for_plan
+from ..preprocessing import build_plan
+from .reporting import format_table, geomean
+
+__all__ = ["run", "render"]
+
+CONFIGS = ("sequential", "mps", "rap_wo_mapping", "rap_wo_fusion", "rap", "ideal")
+
+
+def run(plan_ids=(0, 1, 2, 3), num_gpus: int = 8, batch: int = 4096) -> dict:
+    rows: list[dict] = []
+    for plan_id in plan_ids:
+        graphs, schema = build_plan(plan_id, rows=batch)
+        workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=num_gpus, local_batch=batch)
+        entry = {
+            "plan": plan_id,
+            "sequential": run_sequential_baseline(graphs, workload).throughput,
+            "mps": run_mps_baseline(graphs, workload).throughput,
+            "rap_wo_mapping": RapPlanner(workload, mapping_strategy="data_parallel")
+            .plan_and_evaluate(graphs)
+            .throughput,
+            "rap_wo_fusion": RapPlanner(workload, fusion_enabled=False)
+            .plan_and_evaluate(graphs)
+            .throughput,
+            "rap": RapPlanner(workload).plan_and_evaluate(graphs).throughput,
+            "ideal": workload.ideal_throughput(),
+        }
+        rows.append(entry)
+    summary = {
+        "rap_wo_mapping_over_mps": geomean([r["rap_wo_mapping"] / r["mps"] for r in rows]),
+        "rap_wo_fusion_over_mps": geomean([r["rap_wo_fusion"] / r["mps"] for r in rows]),
+        "rap_over_sequential": geomean([r["rap"] / r["sequential"] for r in rows]),
+        "rap_vs_ideal": geomean([r["rap"] / r["ideal"] for r in rows]),
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def render(results: dict) -> str:
+    table = format_table(
+        ["plan"] + list(CONFIGS),
+        [[r["plan"]] + [r[c] for c in CONFIGS] for r in results["rows"]],
+        title="Figure 10: speedup breakdown (throughput, samples/s, 8 GPUs)",
+    )
+    s = results["summary"]
+    summary = (
+        f"RAP w/o mapping: {s['rap_wo_mapping_over_mps']:.2f}x over MPS (paper 1.19x); "
+        f"RAP w/o fusion: {s['rap_wo_fusion_over_mps']:.2f}x over MPS (paper 1.15x); "
+        f"RAP: {s['rap_over_sequential']:.2f}x over Sequential (paper 1.99x); "
+        f"RAP at {100 * s['rap_vs_ideal']:.2f}% of Ideal (paper 96.76%)."
+    )
+    return table + "\n\n" + summary

@@ -1,0 +1,14 @@
+"""Setup tables 1-3: reproduced as structured printouts from the library."""
+
+from .table1 import run as run_table1, render as render_table1
+from .table2 import run as run_table2, render as render_table2
+from .table3 import run as run_table3, render as render_table3
+
+__all__ = [
+    "run_table1",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "run_table3",
+    "render_table3",
+]

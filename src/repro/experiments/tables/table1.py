@@ -1,0 +1,48 @@
+"""Table 1: the common DLRM preprocessing operator inventory."""
+
+from __future__ import annotations
+
+from ...preprocessing.ops import OP_REGISTRY
+from ..reporting import format_table
+
+__all__ = ["run", "render"]
+
+_DESCRIPTIONS = {
+    "Logit": "Logit transform for normalization",
+    "BoxCox": "BoxCox transform for normalization",
+    "Onehot": "Apply one hot encoding to normalize dense features",
+    "SigridHash": "Compute hash value to normalize list of sparse features",
+    "FirstX": "List truncation of sparse features for normalization",
+    "Clamp": "Clamp the sparse input based on the upper and lower bound",
+    "Bucketize": "Shard features based on bucket borders",
+    "Ngram": "Compute an n-gram between multiple sparse features",
+    "MapId": "Maps feature IDs to fixed values",
+    "FillNull": "Fill NA/NaN values using the specified value",
+    "Cast": "Cast the data to different type",
+}
+
+_CATEGORY_ORDER = {"DN": 0, "SN": 1, "FG": 2, "Other": 3}
+
+
+def run() -> dict:
+    rows = []
+    for name, cls in OP_REGISTRY.items():
+        rows.append(
+            {
+                "type": cls.category,
+                "operator": name,
+                "description": _DESCRIPTIONS[name],
+                "input_kind": cls.input_kind,
+                "predictor_family": cls.predictor_family,
+            }
+        )
+    rows.sort(key=lambda r: (_CATEGORY_ORDER[r["type"]], r["operator"]))
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    return format_table(
+        ["type", "operator", "description"],
+        [[r["type"], r["operator"], r["description"]] for r in results["rows"]],
+        title="Table 1: common DLRM preprocessing operations",
+    )

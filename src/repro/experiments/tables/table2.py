@@ -1,0 +1,35 @@
+"""Table 2: dataset and model architecture details."""
+
+from __future__ import annotations
+
+from ...dlrm import kaggle_model, terabyte_model
+from ..reporting import format_table
+
+__all__ = ["run", "render"]
+
+
+def run() -> dict:
+    rows = []
+    for label, model in (("Criteo Kaggle", kaggle_model()), ("Criteo Terabyte", terabyte_model())):
+        rows.append(
+            {
+                "dataset": label,
+                "total_hash_size": sum(t.hash_size for t in model.tables),
+                "dimension": model.embedding_dim,
+                "dense_arch": "-".join(str(w) for w in model.dense_arch.layers),
+                "top_arch": "-".join(str(w) for w in model.top_arch_layers),
+                "num_tables": model.num_tables,
+            }
+        )
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    return format_table(
+        ["dataset", "total hash size", "dim", "dense arch", "top arch"],
+        [
+            [r["dataset"], r["total_hash_size"], r["dimension"], r["dense_arch"], r["top_arch"]]
+            for r in results["rows"]
+        ],
+        title="Table 2: dataset and model architecture",
+    )

@@ -1,0 +1,38 @@
+"""Table 3: the DLRM input preprocessing plans."""
+
+from __future__ import annotations
+
+from ...preprocessing import PLAN_TABLE, build_plan
+from ..reporting import format_table
+
+__all__ = ["run", "render"]
+
+
+def run(rows_per_plan: int = 128) -> dict:
+    rows = []
+    for plan_id, spec in PLAN_TABLE.items():
+        graphs, schema = build_plan(plan_id, rows=rows_per_plan)
+        rows.append(
+            {
+                "plan": plan_id,
+                "dataset": spec.dataset,
+                "num_dense": schema.num_dense,
+                "num_sparse": schema.num_sparse,
+                "ops_per_feature": graphs.total_ops / (schema.num_dense + schema.num_sparse),
+                "total_ops": graphs.total_ops,
+                "paper_total_ops": spec.total_ops,
+            }
+        )
+    return {"rows": rows}
+
+
+def render(results: dict) -> str:
+    return format_table(
+        ["plan", "dataset", "#dense", "#sparse", "op/feature", "total #op", "paper total"],
+        [
+            [r["plan"], r["dataset"], r["num_dense"], r["num_sparse"],
+             r["ops_per_feature"], r["total_ops"], r["paper_total_ops"]]
+            for r in results["rows"]
+        ],
+        title="Table 3: DLRM input preprocessing plans",
+    )

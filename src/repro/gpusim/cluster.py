@@ -1,0 +1,115 @@
+"""Multi-GPU cluster: devices plus interconnect plus synchronization.
+
+A DLRM training iteration is bulk-synchronous across GPUs (the all-to-all
+and the gradient all-reduce are barriers), so the per-iteration time of the
+cluster is the slowest GPU's time plus any inter-GPU input redistribution
+that sits on the critical path. This module holds that composition logic;
+per-GPU physics lives in :mod:`repro.gpusim.device`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .device import CoRunPolicy, GpuDevice, IterationResult, RAP_POLICY, StageProfile
+from .interconnect import Interconnect
+from .kernel import KernelDesc
+from .resources import GpuSpec, A100_SPEC
+
+__all__ = ["ClusterIterationResult", "MultiGpuCluster"]
+
+
+@dataclass
+class ClusterIterationResult:
+    """Aggregated outcome of one synchronous iteration across all GPUs."""
+
+    iteration_time_us: float
+    input_comm_us: float
+    per_gpu: list[IterationResult] = field(default_factory=list)
+
+    @property
+    def slowest_gpu(self) -> int:
+        times = [r.total_time_us for r in self.per_gpu]
+        return times.index(max(times)) if times else 0
+
+    @property
+    def max_exposed_preprocessing_us(self) -> float:
+        return max((r.exposed_preprocessing_us for r in self.per_gpu), default=0.0)
+
+    def throughput_samples_per_s(self, batch_size: int) -> float:
+        if self.iteration_time_us <= 0:
+            return 0.0
+        return batch_size / (self.iteration_time_us * 1e-6)
+
+
+class MultiGpuCluster:
+    """A fully connected node of identical GPUs (the DGX-A100 testbed)."""
+
+    def __init__(
+        self,
+        num_gpus: int,
+        spec: GpuSpec = A100_SPEC,
+        interconnect: Interconnect | None = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise ValueError("cluster needs at least one GPU")
+        self.num_gpus = num_gpus
+        self.spec = spec
+        self.devices = [GpuDevice(spec, device_id=i) for i in range(num_gpus)]
+        self.interconnect = interconnect or Interconnect(spec)
+
+    def simulate_iteration(
+        self,
+        stages_per_gpu: Sequence[Sequence[StageProfile]],
+        assignments_per_gpu: Sequence[Mapping[int, Sequence[KernelDesc]]] | None = None,
+        trailing_per_gpu: Sequence[Sequence[KernelDesc]] | None = None,
+        input_comm_bytes: float = 0.0,
+        input_comm_transfers: int = 1,
+        policy: CoRunPolicy = RAP_POLICY,
+    ) -> ClusterIterationResult:
+        """Simulate one bulk-synchronous iteration.
+
+        Parameters
+        ----------
+        stages_per_gpu:
+            Training stage pipeline for each GPU (usually identical replicas
+            with embedding stages sized by the local shard).
+        assignments_per_gpu / trailing_per_gpu:
+            Per-GPU preprocessing kernel placement, as produced by a mapping
+            + scheduling plan.
+        input_comm_bytes:
+            Total preprocessing output volume that must move between GPUs
+            before embedding lookup can start. It serializes with training
+            (it feeds the first stage), so it lands on the critical path --
+            the mechanism that penalizes data-parallel mapping in Fig. 12.
+        """
+        if len(stages_per_gpu) != self.num_gpus:
+            raise ValueError(
+                f"expected stage pipelines for {self.num_gpus} GPUs, got {len(stages_per_gpu)}"
+            )
+        assignments_per_gpu = assignments_per_gpu or [{} for _ in range(self.num_gpus)]
+        trailing_per_gpu = trailing_per_gpu or [() for _ in range(self.num_gpus)]
+        if len(assignments_per_gpu) != self.num_gpus or len(trailing_per_gpu) != self.num_gpus:
+            raise ValueError("assignment lists must match the number of GPUs")
+
+        results = [
+            device.simulate_iteration(
+                stages,
+                assignments=assignment,
+                trailing_kernels=trailing,
+                policy=policy,
+            )
+            for device, stages, assignment, trailing in zip(
+                self.devices, stages_per_gpu, assignments_per_gpu, trailing_per_gpu
+            )
+        ]
+        comm = self.interconnect.redistribution_us(
+            input_comm_bytes, self.num_gpus, num_transfers=input_comm_transfers
+        )
+        iteration = max(r.total_time_us for r in results) + comm
+        return ClusterIterationResult(
+            iteration_time_us=iteration,
+            input_comm_us=comm,
+            per_gpu=results,
+        )

@@ -1,0 +1,371 @@
+"""The single-GPU co-running simulator.
+
+This is the physics core of the reproduction. A device executes a DLRM
+training iteration expressed as a sequence of :class:`StageProfile` spans,
+optionally co-running a queue of preprocessing kernels assigned per stage
+(RAP), or issued greedily from the start of the iteration (the CUDA-stream
+and MPS baselines).
+
+Contention model
+----------------
+While a preprocessing kernel is resident alongside a training stage, both
+advance at ``1 / s`` of their standalone rate, where
+``s = max(1, sm_train + sm_kernel, dram_train + dram_kernel)`` is the
+rate-sharing slowdown of the most oversubscribed resource. When the kernel
+fits in the training stage's leftover resources ``s == 1``: the paper's
+contention-free co-running regime where preprocessing is literally free.
+This reproduces the behaviour measured in the paper's Fig. 1c (training
+latency inflates once the co-running NGram kernel outgrows the leftover)
+and Fig. 5b (overlapping latency tracks standalone latency linearly once
+capacity is exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .kernel import KernelDesc
+from .resources import GpuSpec, ResourceVector, A100_SPEC
+from .trace import UtilizationTrace
+
+__all__ = ["StageProfile", "CoRunPolicy", "KernelSpan", "StageSpan", "IterationResult", "GpuDevice"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One span of a training iteration with constant resource utilization."""
+
+    name: str
+    duration_us: float
+    utilization: ResourceVector
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"stage {self.name!r} has negative duration")
+
+    def leftover(self) -> ResourceVector:
+        return self.utilization.headroom()
+
+
+@dataclass(frozen=True)
+class CoRunPolicy:
+    """How aggressively co-running shares the device.
+
+    ``demand_inflation`` models sharing-mechanism inefficiency: a
+    low-priority CUDA stream or an MPS sibling process does not partition
+    resources as cleanly as RAP's capacity-sized kernels, so its effective
+    footprint is inflated. ``per_kernel_overhead_us`` charges a fixed issue
+    overhead per kernel (context switching / software scheduling).
+    ``train_stall_us`` models head-of-line blocking at kernel issue: each
+    preprocessing kernel injected from a foreign stream/process briefly
+    stalls the training stream's launch pipeline. RAP pays none because its
+    generated code enqueues the (few, fused) kernels inside the training
+    loop itself with pre-resolved dependencies.
+    """
+
+    name: str = "rap"
+    demand_inflation: float = 1.0
+    per_kernel_overhead_us: float = 0.0
+    train_stall_us: float = 0.0
+    serialization_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serialization_fraction <= 1.0:
+            raise ValueError("serialization_fraction must be in [0, 1]")
+
+    def effective(self, kernel: KernelDesc) -> tuple[float, ResourceVector]:
+        """Return (effective duration, effective demand) under this policy."""
+        duration = kernel.duration_us + self.per_kernel_overhead_us
+        demand = kernel.demand.scale(self.demand_inflation)
+        return duration, demand
+
+
+RAP_POLICY = CoRunPolicy(name="rap")
+STREAM_POLICY = CoRunPolicy(
+    name="cuda_stream",
+    demand_inflation=1.35,
+    per_kernel_overhead_us=4.0,
+    train_stall_us=7.0,
+    serialization_fraction=0.80,
+)
+MPS_POLICY = CoRunPolicy(
+    name="mps",
+    demand_inflation=1.12,
+    per_kernel_overhead_us=1.5,
+    train_stall_us=2.5,
+    serialization_fraction=0.45,
+)
+
+
+@dataclass(frozen=True)
+class KernelSpan:
+    """Completed execution record of one kernel (possibly across stages)."""
+
+    name: str
+    t_start: float
+    t_end: float
+    tag: str
+    overlapped: bool
+
+    @property
+    def wall_time(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """Completed execution record of one training stage."""
+
+    name: str
+    t_start: float
+    t_end: float
+    standalone_us: float
+
+    @property
+    def wall_time(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def slowdown(self) -> float:
+        if self.standalone_us <= 0:
+            return 1.0
+        return self.wall_time / self.standalone_us
+
+
+@dataclass
+class IterationResult:
+    """Everything the cost model and the figures need from one iteration."""
+
+    total_time_us: float
+    training_time_us: float
+    exposed_preprocessing_us: float
+    stage_spans: list[StageSpan] = field(default_factory=list)
+    kernel_spans: list[KernelSpan] = field(default_factory=list)
+    trace: UtilizationTrace = field(default_factory=UtilizationTrace)
+
+    @property
+    def training_slowdown(self) -> float:
+        standalone = sum(s.standalone_us for s in self.stage_spans)
+        if standalone <= 0:
+            return 1.0
+        return self.training_time_us / standalone
+
+    @property
+    def preprocessing_wall_us(self) -> float:
+        return sum(k.wall_time for k in self.kernel_spans)
+
+
+class _RunningKernel:
+    """Mutable progress tracker for a kernel moving through the simulation."""
+
+    __slots__ = ("kernel", "remaining_us", "effective_demand", "t_start", "overlapped")
+
+    def __init__(self, kernel: KernelDesc, policy: CoRunPolicy) -> None:
+        duration, demand = policy.effective(kernel)
+        self.kernel = kernel
+        self.remaining_us = duration
+        self.effective_demand = demand
+        self.t_start: float | None = None
+        self.overlapped = False
+
+
+class GpuDevice:
+    """A single simulated GPU executing training stages and co-run kernels."""
+
+    def __init__(self, spec: GpuSpec = A100_SPEC, device_id: int = 0) -> None:
+        self.spec = spec
+        self.device_id = device_id
+
+    # ------------------------------------------------------------------
+    # Standalone execution
+    # ------------------------------------------------------------------
+
+    def run_kernels_standalone(self, kernels: Sequence[KernelDesc], t0: float = 0.0) -> IterationResult:
+        """Execute kernels back to back with the device otherwise idle."""
+        trace = UtilizationTrace()
+        spans: list[KernelSpan] = []
+        t = t0
+        for k in kernels:
+            end = t + k.duration_us
+            trace.record(t, end, k.demand.clamp(), label=k.name)
+            spans.append(KernelSpan(k.name, t, end, k.tag, overlapped=False))
+            t = end
+        return IterationResult(
+            total_time_us=t - t0,
+            training_time_us=0.0,
+            exposed_preprocessing_us=t - t0,
+            stage_spans=[],
+            kernel_spans=spans,
+            trace=trace,
+        )
+
+    def run_training_standalone(self, stages: Sequence[StageProfile]) -> IterationResult:
+        """Execute a training iteration with no co-running preprocessing."""
+        return self.simulate_iteration(stages, assignments={})
+
+    # ------------------------------------------------------------------
+    # Co-running simulation
+    # ------------------------------------------------------------------
+
+    def simulate_iteration(
+        self,
+        stages: Sequence[StageProfile],
+        assignments: Mapping[int, Sequence[KernelDesc]] | None = None,
+        trailing_kernels: Sequence[KernelDesc] = (),
+        policy: CoRunPolicy = RAP_POLICY,
+        t0: float = 0.0,
+    ) -> IterationResult:
+        """Simulate one training iteration with per-stage kernel assignments.
+
+        Parameters
+        ----------
+        stages:
+            The training iteration's stage pipeline, executed in order.
+        assignments:
+            Maps stage index -> kernels released when that stage begins.
+            Kernels execute sequentially (one resident co-runner at a time,
+            matching how RAP sizes one fused kernel per slot) and spill into
+            subsequent stages if they outlast their stage.
+        trailing_kernels:
+            Kernels released only after all training stages finish; together
+            with any spilled work they form the *exposed* preprocessing
+            latency -- the quantity RAP's scheduler minimizes.
+        policy:
+            Sharing mechanism (RAP / CUDA stream / MPS) efficiency knobs.
+        """
+        assignments = assignments or {}
+        for idx in assignments:
+            if not 0 <= idx < len(stages):
+                raise IndexError(f"assignment to stage {idx} outside pipeline of {len(stages)} stages")
+
+        trace = UtilizationTrace()
+        stage_spans: list[StageSpan] = []
+        kernel_spans: list[KernelSpan] = []
+        queue: list[_RunningKernel] = []
+        t = t0
+
+        for idx, stage in enumerate(stages):
+            queue.extend(_RunningKernel(k, policy) for k in assignments.get(idx, ()))
+            stage_start = t
+            remaining_work = stage.duration_us
+
+            while remaining_work > 1e-12:
+                if not queue:
+                    end = t + remaining_work
+                    trace.record(t, end, stage.utilization, label=stage.name)
+                    t = end
+                    remaining_work = 0.0
+                    break
+
+                running = queue[0]
+                if running.t_start is None:
+                    running.t_start = t
+                    serial_us = policy.train_stall_us
+                    if policy.serialization_fraction > 0:
+                        # Whole-SM kernel-granularity scheduling: while the
+                        # foreign stream's kernel holds the device, training
+                        # kernels cannot launch. The kernel itself advances
+                        # at full (standalone) rate during this phase.
+                        serial_us += policy.serialization_fraction * running.remaining_us
+                        running.remaining_us *= 1.0 - policy.serialization_fraction
+                    if serial_us > 0:
+                        stall_end = t + serial_us
+                        trace.record(
+                            t, stall_end, running.effective_demand.clamp(), label="issue_stall"
+                        )
+                        t = stall_end
+                        if running.remaining_us <= 1e-9:
+                            kernel_spans.append(
+                                KernelSpan(
+                                    running.kernel.name,
+                                    running.t_start,
+                                    t,
+                                    running.kernel.tag,
+                                    True,
+                                )
+                            )
+                            queue.pop(0)
+                            continue
+                running.overlapped = True
+                slowdown = max(
+                    1.0,
+                    stage.utilization.sm + running.effective_demand.sm,
+                    stage.utilization.dram + running.effective_demand.dram,
+                )
+                combined = (stage.utilization + running.effective_demand).clamp()
+                # Wall time until either the kernel or the stage completes.
+                wall_kernel = running.remaining_us * slowdown
+                wall_stage = remaining_work * slowdown
+                wall = min(wall_kernel, wall_stage)
+                progressed = wall / slowdown
+                end = t + wall
+                trace.record(t, end, combined, label=f"{stage.name}+{running.kernel.name}")
+                remaining_work -= progressed
+                running.remaining_us -= progressed
+                if running.remaining_us <= 1e-9:
+                    kernel_spans.append(
+                        KernelSpan(running.kernel.name, running.t_start, end, running.kernel.tag, True)
+                    )
+                    queue.pop(0)
+                t = end
+
+            stage_spans.append(StageSpan(stage.name, stage_start, t, stage.duration_us))
+
+        training_end = t
+
+        # Drain spilled kernels plus trailing kernels with the device free:
+        # they run at full rate, fully exposed.
+        queue.extend(_RunningKernel(k, policy) for k in trailing_kernels)
+        for running in queue:
+            if running.t_start is None:
+                running.t_start = t
+            end = t + running.remaining_us
+            trace.record(t, end, running.effective_demand.clamp(), label=running.kernel.name)
+            kernel_spans.append(
+                KernelSpan(running.kernel.name, running.t_start, end, running.kernel.tag, running.overlapped)
+            )
+            t = end
+
+        return IterationResult(
+            total_time_us=t - t0,
+            training_time_us=training_end - t0,
+            exposed_preprocessing_us=t - training_end,
+            stage_spans=stage_spans,
+            kernel_spans=kernel_spans,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement helpers used by the cost model and figures
+    # ------------------------------------------------------------------
+
+    def overlap_latency(
+        self,
+        stage: StageProfile,
+        kernel: KernelDesc,
+        policy: CoRunPolicy = RAP_POLICY,
+    ) -> float:
+        """Wall time for ``stage`` co-run with ``kernel`` (Fig. 1c measurement)."""
+        result = self.simulate_iteration([stage], assignments={0: [kernel]}, policy=policy)
+        return result.total_time_us
+
+    def stage_overlapping_capacity(self, stage: StageProfile, probe: ResourceVector) -> float:
+        """Overlapping capacity of ``stage`` in standalone-latency units (§5.1).
+
+        The capacity is the largest total standalone latency of kernels with
+        demand profile ``probe`` that co-run with the stage for free. A probe
+        that fits in the leftover advances at full rate for the stage's whole
+        duration, so the capacity equals the stage duration scaled by how
+        much of the probe's demand the leftover admits.
+        """
+        leftover = stage.leftover()
+        if probe.sm <= 0 and probe.dram <= 0:
+            return stage.duration_us
+        ratios = []
+        if probe.sm > 0:
+            ratios.append(leftover.sm / probe.sm)
+        if probe.dram > 0:
+            ratios.append(leftover.dram / probe.dram)
+        admit = min(1.0, min(ratios)) if ratios else 1.0
+        return stage.duration_us * admit

@@ -1,0 +1,205 @@
+"""Kernel descriptors: the unit of work the simulated GPU executes.
+
+A :class:`KernelDesc` is a *resource-annotated* piece of work: how long it
+takes standalone, how many warps it launches, and what fraction of SM issue
+slots and DRAM bandwidth it demands while running. Preprocessing operators
+(``repro.preprocessing.ops``) and DLRM training stages (``repro.dlrm``)
+both lower to kernels before hitting the device model.
+
+Sharding physics
+----------------
+Resource-aware kernel sharding (§6.2) splits a kernel into pieces that fit
+the leftover resources of a training stage. Sharding is not free: every
+shard pays its own launch overhead, and a shard's body time has a floor of
+one "wave" (all its warps resident simultaneously) -- doing the same work
+with less parallelism cannot be faster. The scheduler's preference for
+high-capacity stages falls out of this cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .resources import GpuSpec, ResourceVector, warps_to_sm_fraction
+
+__all__ = ["KernelDesc", "fuse_kernels", "shard_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelDesc:
+    """A GPU kernel with its standalone latency and resource demand.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (also used in traces).
+    duration_us:
+        Standalone execution latency in microseconds, i.e. the latency when
+        the kernel owns the whole device. This is the uniform cost currency
+        of RAP's latency-based preprocessing overhead abstraction (§5.1).
+    demand:
+        Fractional SM/DRAM demand while the kernel is resident.
+    num_warps:
+        Total warps launched; drives demand scaling under sharding and the
+        Fig.-5c analysis.
+    tag:
+        Operator family (e.g. ``"Ngram"``); fused kernels keep their family
+        tag because only same-type operators fuse horizontally.
+    launch_us:
+        The fixed launch overhead included in ``duration_us``. Shards each
+        pay it again.
+    warp_slots:
+        Total resident-warp capacity of the device the kernel was costed
+        for (0 = unknown; sharding then scales demand linearly).
+    meta:
+        Free-form metadata (op configuration, feature ids, ...).
+    """
+
+    name: str
+    duration_us: float
+    demand: ResourceVector
+    num_warps: int = 0
+    tag: str = "generic"
+    launch_us: float = 0.0
+    warp_slots: int = 0
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError(f"kernel {self.name!r} has negative duration")
+        if self.num_warps < 0:
+            raise ValueError(f"kernel {self.name!r} has negative warp count")
+        if self.launch_us < 0 or self.launch_us > self.duration_us + 1e-9:
+            raise ValueError(
+                f"kernel {self.name!r}: launch_us must lie within [0, duration_us]"
+            )
+
+    @property
+    def body_us(self) -> float:
+        """Execution time excluding the fixed launch overhead."""
+        return max(0.0, self.duration_us - self.launch_us)
+
+    @property
+    def waves(self) -> float:
+        """How many times the kernel oversubscribes the device's warp slots."""
+        if self.warp_slots <= 0 or self.num_warps <= 0:
+            return 1.0
+        return max(1.0, self.num_warps / self.warp_slots)
+
+    @property
+    def wave_floor_us(self) -> float:
+        """Body time of a single fully-resident wave: the sharding floor."""
+        return self.body_us / self.waves
+
+    def with_duration(self, duration_us: float) -> "KernelDesc":
+        return replace(self, duration_us=duration_us)
+
+    def scaled(self, fraction: float, suffix: str = "") -> "KernelDesc":
+        """Return a shard covering ``fraction`` of this kernel's work.
+
+        The shard launches ``fraction`` of the warps, pays a full launch
+        overhead, and its body time scales with its own wave count --
+        flooring at one wave, so sub-saturation shards do not get faster.
+        Demand scales with resident warps (saturated kernels stay at full
+        demand until their shard drops below one wave).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"shard fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0 and not suffix:
+            return self
+        # A shard is a warp-slice of the whole kernel: member identity is
+        # lost, so fused-member descriptors must not survive (they would
+        # double-count work if the shard were later degree-reduced).
+        meta = {k: v for k, v in self.meta.items() if k != "member_kernels"} if self.meta else {}
+        new_warps = max(1, int(round(self.num_warps * fraction))) if self.num_warps else 0
+        if self.warp_slots > 0 and self.num_warps > 0:
+            new_waves = max(1.0, new_warps / self.warp_slots)
+            new_body = self.wave_floor_us * new_waves
+            sm = min(1.0, new_warps / self.warp_slots)
+            dram_scale = sm / self.demand.sm if self.demand.sm > 0 else fraction
+            dram = min(1.0, self.demand.dram * min(1.0, dram_scale))
+        else:
+            new_body = self.body_us * fraction
+            sm = self.demand.sm * fraction
+            dram = self.demand.dram * fraction
+        return replace(
+            self,
+            name=self.name + suffix,
+            duration_us=self.launch_us + new_body,
+            demand=ResourceVector(sm=sm, dram=dram),
+            num_warps=new_warps,
+            meta=meta,
+        )
+
+
+def fuse_kernels(
+    kernels: list[KernelDesc],
+    spec: GpuSpec,
+    launch_overhead_us: float | None = None,
+) -> KernelDesc:
+    """Horizontally fuse same-type kernels into one wider kernel.
+
+    Horizontal fusion (§6.1) launches the threads of several independent
+    same-type kernels together. The fused kernel:
+
+    - pays a *single* launch overhead instead of one per kernel, which is
+      where the speedup comes from (the member kernels are lightweight and
+      launch-bound);
+    - demands the *sum* of member resources (it is genuinely wider);
+    - runs its member bodies concurrently -- the body time is the max
+      member body, stretched once the aggregate demand saturates the
+      device, never exceeding the serial sum.
+    """
+    if not kernels:
+        raise ValueError("cannot fuse an empty kernel list")
+    tags = {k.tag for k in kernels}
+    if len(tags) != 1:
+        raise ValueError(f"horizontal fusion requires a single operator type, got {sorted(tags)}")
+    if len(kernels) == 1:
+        return kernels[0]
+
+    launch = spec.kernel_launch_us if launch_overhead_us is None else launch_overhead_us
+    bodies = [k.body_us for k in kernels]
+    total_warps = sum(k.num_warps for k in kernels)
+    raw_sm = sum(k.demand.sm for k in kernels)
+    raw_dram = sum(k.demand.dram for k in kernels)
+    demand = ResourceVector(sm=min(1.0, raw_sm), dram=min(1.0, raw_dram))
+    stretch = max(1.0, raw_sm, raw_dram)
+    concurrent = max(bodies)
+    serial = sum(bodies)
+    body = min(serial, concurrent * stretch)
+    tag = kernels[0].tag
+    total_rows = sum(int(k.meta.get("rows", 0)) for k in kernels)
+    return KernelDesc(
+        name=f"fused_{tag}_x{len(kernels)}",
+        duration_us=launch + body,
+        demand=demand,
+        num_warps=total_warps,
+        tag=tag,
+        launch_us=launch,
+        warp_slots=spec.total_warp_slots,
+        meta={
+            "fused": [k.name for k in kernels],
+            "members": len(kernels),
+            "rows": total_rows,
+            "member_kernels": tuple(kernels),
+        },
+    )
+
+
+def shard_kernel(kernel: KernelDesc, first_fraction: float) -> tuple[KernelDesc, KernelDesc]:
+    """Split a kernel into two shards covering ``first_fraction`` and the rest.
+
+    Implements the primitive used by resource-aware fused-kernel sharding
+    (§6.2): when a fused kernel is too large to co-run with the remaining
+    overlapping capacity of a training stage, RAP shards it and schedules
+    the remainder later. Both shards pay launch overhead, so the combined
+    duration exceeds the original -- sharding is a cost the scheduler only
+    accepts to avoid contention.
+    """
+    if not 0.0 < first_fraction < 1.0:
+        raise ValueError(f"first_fraction must be in (0, 1), got {first_fraction}")
+    first = kernel.scaled(first_fraction, suffix="#a")
+    second = kernel.scaled(1.0 - first_fraction, suffix="#b")
+    return first, second

@@ -1,0 +1,151 @@
+"""GPU hardware specifications and resource-vector arithmetic.
+
+The simulator models a GPU as a bundle of two contended, rate-shared
+resources -- streaming-multiprocessor (SM) issue slots and DRAM bandwidth --
+following the observation in the RAP paper (Fig. 1) that DLRM training
+alternates between compute-bound MLP phases and memory-bound embedding
+phases, leaving complementary slack for input preprocessing.
+
+Everything downstream (kernels, training stages, co-running contention)
+expresses its demand as a :class:`ResourceVector` of fractional SM and DRAM
+utilization against a :class:`GpuSpec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GpuSpec",
+    "ResourceVector",
+    "A100_SPEC",
+    "V100_SPEC",
+    "warps_to_sm_fraction",
+]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of one GPU's capacity.
+
+    The defaults follow the NVIDIA A100-40GB used in the paper's DGX-A100
+    testbed. Only quantities the co-running model actually consumes are
+    included; anything else (L2 size, clocks, ...) is folded into the
+    calibrated per-operator cost constants in ``repro.preprocessing.ops``.
+    """
+
+    name: str = "A100-40GB"
+    num_sms: int = 108
+    warps_per_sm: int = 64
+    dram_bw_gbps: float = 1555.0
+    mem_gb: float = 40.0
+    fp32_tflops: float = 19.5
+    nvlink_bw_gbps: float = 300.0
+    pcie_bw_gbps: float = 32.0
+    kernel_launch_us: float = 5.0
+
+    @property
+    def total_warp_slots(self) -> int:
+        """Maximum number of resident warps across all SMs."""
+        return self.num_sms * self.warps_per_sm
+
+    @property
+    def dram_bytes_per_us(self) -> float:
+        """DRAM bandwidth expressed in bytes per microsecond."""
+        return self.dram_bw_gbps * 1e9 / 1e6
+
+    def h2d_time_us(self, nbytes: float) -> float:
+        """Host-to-device copy time over PCIe for ``nbytes`` bytes."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / (self.pcie_bw_gbps * 1e9 / 1e6)
+
+
+A100_SPEC = GpuSpec()
+V100_SPEC = GpuSpec(
+    name="V100-32GB",
+    num_sms=80,
+    warps_per_sm=64,
+    dram_bw_gbps=900.0,
+    mem_gb=32.0,
+    fp32_tflops=14.0,
+    nvlink_bw_gbps=150.0,
+    pcie_bw_gbps=16.0,
+)
+
+
+def warps_to_sm_fraction(num_warps: float, spec: GpuSpec) -> float:
+    """Convert a warp count into the fraction of SM issue capacity it needs.
+
+    The mapping is intentionally simple -- occupancy effects beyond slot
+    counting are folded into per-operator cost constants -- but it preserves
+    the property exploited by Fig. 1b of the paper: kernel resource demand
+    grows with input width until the device saturates.
+    """
+    if num_warps <= 0:
+        return 0.0
+    return min(1.0, num_warps / spec.total_warp_slots)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Fractional demand on (or utilization of) the two contended resources.
+
+    Values are fractions of the device's peak; they may transiently exceed
+    1.0 when expressing *demand* (oversubscription), in which case the
+    contention model in :mod:`repro.gpusim.device` rate-shares the resource.
+    """
+
+    sm: float = 0.0
+    dram: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sm < 0 or self.dram < 0:
+            raise ValueError(f"resource fractions must be non-negative, got {self}")
+        if math.isnan(self.sm) or math.isnan(self.dram):
+            raise ValueError("resource fractions must not be NaN")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self.sm + other.sm, self.dram + other.dram)
+
+    def scale(self, factor: float) -> "ResourceVector":
+        """Return a copy with both components multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return ResourceVector(self.sm * factor, self.dram * factor)
+
+    def clamp(self, limit: float = 1.0) -> "ResourceVector":
+        """Return a copy with both components clipped to ``limit``."""
+        return ResourceVector(min(self.sm, limit), min(self.dram, limit))
+
+    @property
+    def peak(self) -> float:
+        """The dominant (bottleneck) component."""
+        return max(self.sm, self.dram)
+
+    def headroom(self) -> "ResourceVector":
+        """Leftover capacity if this vector describes current utilization."""
+        return ResourceVector(max(0.0, 1.0 - self.sm), max(0.0, 1.0 - self.dram))
+
+    def fits_within(self, available: "ResourceVector") -> bool:
+        """True when this demand fits inside ``available`` without contention."""
+        return self.sm <= available.sm + 1e-12 and self.dram <= available.dram + 1e-12
+
+    def contention_factor(self, other: "ResourceVector") -> float:
+        """Slowdown from co-running this workload with ``other``.
+
+        The rate-sharing model: when combined demand on a resource exceeds
+        the device peak, both co-runners advance at ``1 / combined_demand``
+        of their standalone rate on that resource. The overall slowdown is
+        set by the most contended resource, and is 1.0 when the two demands
+        fit side by side -- which is exactly RAP's contention-free target.
+        """
+        combined = self + other
+        return max(1.0, combined.sm, combined.dram)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.sm, self.dram)
+
+
+IDLE = ResourceVector(0.0, 0.0)

@@ -1,0 +1,39 @@
+"""CUDA priority-stream sharing semantics.
+
+The handcrafted CUDA-stream baseline in the paper creates one extra stream
+with lower priority than training and pushes every preprocessing kernel
+onto it. The hardware scheduler then interleaves the two streams with no
+awareness of the training stage's leftover resources: kernels are issued
+as soon as their predecessor finishes, starting at the top of the
+iteration, and contend with whatever training stage happens to be running.
+
+We model that as a :class:`repro.gpusim.device.CoRunPolicy` with inflated
+effective demand (time-sliced SM partitions are coarser than RAP's
+capacity-sized kernels) plus a per-kernel issue overhead, with all kernels
+released at stage 0 so they spill greedily through the iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .device import GpuDevice, IterationResult, STREAM_POLICY, StageProfile
+from .kernel import KernelDesc
+
+__all__ = ["run_on_low_priority_stream", "STREAM_POLICY"]
+
+
+def run_on_low_priority_stream(
+    device: GpuDevice,
+    stages: Sequence[StageProfile],
+    kernels: Sequence[KernelDesc],
+) -> IterationResult:
+    """Co-run ``kernels`` with training via a low-priority CUDA stream.
+
+    All preprocessing kernels are enqueued at the beginning of the
+    iteration; the stream drains them one at a time alongside whichever
+    training stage is active, paying contention wherever their demand
+    exceeds the stage's leftover.
+    """
+    assignments = {0: list(kernels)} if kernels else {}
+    return device.simulate_iteration(stages, assignments=assignments, policy=STREAM_POLICY)

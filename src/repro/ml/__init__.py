@@ -1,0 +1,15 @@
+"""``repro.ml`` -- from-scratch gradient-boosted trees (XGBoost stand-in)."""
+
+from .tree import RegressionTree
+from .gbdt import GradientBoostingRegressor
+from .metrics import mae, mape, mse, r2_score, within_tolerance_accuracy
+
+__all__ = [
+    "RegressionTree",
+    "GradientBoostingRegressor",
+    "mae",
+    "mape",
+    "mse",
+    "r2_score",
+    "within_tolerance_accuracy",
+]

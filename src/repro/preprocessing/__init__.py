@@ -1,0 +1,76 @@
+"""``repro.preprocessing`` -- DLRM input preprocessing substrate.
+
+Implements the paper's Table-1 operator library (real numpy transforms plus
+GPU/CPU cost descriptors), the per-feature preprocessing graphs RAP maps
+across GPUs, the Table-3 workload plans, a synthetic Criteo-schema data
+generator, and a functional executor.
+"""
+
+from .data import (
+    Batch,
+    CriteoSchema,
+    DenseColumn,
+    KAGGLE_SCHEMA,
+    SparseColumn,
+    SyntheticCriteoDataset,
+    TERABYTE_SCHEMA,
+)
+from .ops import (
+    OP_REGISTRY,
+    BoxCox,
+    Bucketize,
+    Cast,
+    Clamp,
+    FillNull,
+    FirstX,
+    Logit,
+    MapId,
+    Ngram,
+    Onehot,
+    PreprocessingOp,
+    SigridHash,
+    concat_sparse_rows,
+    make_op,
+)
+from .graph import DENSE_CONSUMER, FeatureGraph, GraphSet
+from .plans import PLAN_TABLE, PlanSpec, build_plan, build_skewed_plan, table_for_sparse_feature
+from .executor import DataPreparation, estimate_data_preparation, execute_graph_set
+from .random_plans import RandomPlanConfig, generate_random_plan
+
+__all__ = [
+    "Batch",
+    "CriteoSchema",
+    "DenseColumn",
+    "SparseColumn",
+    "SyntheticCriteoDataset",
+    "KAGGLE_SCHEMA",
+    "TERABYTE_SCHEMA",
+    "OP_REGISTRY",
+    "PreprocessingOp",
+    "BoxCox",
+    "Bucketize",
+    "Cast",
+    "Clamp",
+    "FillNull",
+    "FirstX",
+    "Logit",
+    "MapId",
+    "Ngram",
+    "Onehot",
+    "SigridHash",
+    "concat_sparse_rows",
+    "make_op",
+    "DENSE_CONSUMER",
+    "FeatureGraph",
+    "GraphSet",
+    "PLAN_TABLE",
+    "PlanSpec",
+    "build_plan",
+    "build_skewed_plan",
+    "table_for_sparse_feature",
+    "DataPreparation",
+    "estimate_data_preparation",
+    "execute_graph_set",
+    "RandomPlanConfig",
+    "generate_random_plan",
+]

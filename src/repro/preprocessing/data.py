@@ -1,0 +1,234 @@
+"""Synthetic Criteo-schema data: columns, batches, and the generator.
+
+The paper evaluates on Criteo Kaggle and Criteo Terabyte -- click-log
+datasets with 13 continuous ("dense") features and 26 categorical
+("sparse") features per sample. Those datasets matter to RAP only through
+their schema and volume, so this module provides a deterministic synthetic
+generator with the same shape: dense columns in [0, 1] with configurable
+NaN rates (so ``FillNull`` has real work to do) and ragged sparse columns
+in CSR-style ``(offsets, values)`` layout (the KeyedJaggedTensor layout
+TorchRec uses) with configurable hash sizes, list lengths, and skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "DenseColumn",
+    "SparseColumn",
+    "Batch",
+    "CriteoSchema",
+    "SyntheticCriteoDataset",
+    "KAGGLE_SCHEMA",
+    "TERABYTE_SCHEMA",
+]
+
+
+@dataclass
+class DenseColumn:
+    """A continuous feature column: one float32 value per sample."""
+
+    name: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if not (np.issubdtype(self.values.dtype, np.number) or self.values.dtype == np.bool_):
+            raise ValueError(f"dense column {self.name!r} must be numeric, got {self.values.dtype}")
+        if self.values.ndim != 1:
+            raise ValueError(f"dense column {self.name!r} must be 1-D, got shape {self.values.shape}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def copy(self) -> "DenseColumn":
+        return DenseColumn(self.name, self.values.copy())
+
+
+@dataclass
+class SparseColumn:
+    """A ragged categorical feature column in CSR layout.
+
+    ``offsets`` has ``num_rows + 1`` entries; row ``i`` owns
+    ``values[offsets[i]:offsets[i + 1]]``. ``hash_size`` is the cardinality
+    of the id space (the embedding-table height the column feeds).
+    """
+
+    name: str
+    offsets: np.ndarray
+    values: np.ndarray
+    hash_size: int
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.offsets.ndim != 1 or len(self.offsets) < 1:
+            raise ValueError(f"sparse column {self.name!r} offsets malformed")
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.values):
+            raise ValueError(
+                f"sparse column {self.name!r}: offsets must start at 0 and end at len(values)"
+            )
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError(f"sparse column {self.name!r}: offsets must be non-decreasing")
+        if self.hash_size <= 0:
+            raise ValueError(f"sparse column {self.name!r}: hash_size must be positive")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def avg_list_length(self) -> float:
+        return self.nnz / self.num_rows if self.num_rows else 0.0
+
+    def row(self, i: int) -> np.ndarray:
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def copy(self) -> "SparseColumn":
+        return SparseColumn(self.name, self.offsets.copy(), self.values.copy(), self.hash_size)
+
+
+@dataclass
+class Batch:
+    """One training batch: named dense and sparse columns of equal row count."""
+
+    dense: dict[str, DenseColumn] = field(default_factory=dict)
+    sparse: dict[str, SparseColumn] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        sizes = {len(c) for c in self.dense.values()} | {c.num_rows for c in self.sparse.values()}
+        if len(sizes) > 1:
+            raise ValueError(f"inconsistent batch row counts: {sorted(sizes)}")
+
+    @property
+    def size(self) -> int:
+        for col in self.dense.values():
+            return len(col)
+        for col in self.sparse.values():
+            return col.num_rows
+        return 0
+
+    def column(self, name: str) -> DenseColumn | SparseColumn:
+        if name in self.dense:
+            return self.dense[name]
+        if name in self.sparse:
+            return self.sparse[name]
+        raise KeyError(f"batch has no column {name!r}")
+
+    def put(self, column: DenseColumn | SparseColumn) -> None:
+        if isinstance(column, DenseColumn):
+            self.dense[column.name] = column
+        else:
+            self.sparse[column.name] = column
+
+    def nbytes(self) -> int:
+        total = sum(c.values.nbytes for c in self.dense.values())
+        total += sum(c.values.nbytes + c.offsets.nbytes for c in self.sparse.values())
+        return total
+
+    def copy(self) -> "Batch":
+        return Batch(
+            dense={k: v.copy() for k, v in self.dense.items()},
+            sparse={k: v.copy() for k, v in self.sparse.items()},
+        )
+
+
+@dataclass(frozen=True)
+class CriteoSchema:
+    """Shape of a Criteo-like dataset (Table 2 of the paper)."""
+
+    name: str
+    num_dense: int = 13
+    num_sparse: int = 26
+    total_hash_size: int = 33_700_000
+    avg_list_length: float = 2.0
+    nan_rate: float = 0.05
+    id_skew: float = 1.05
+
+    def dense_names(self) -> list[str]:
+        return [f"dense_{i}" for i in range(self.num_dense)]
+
+    def sparse_names(self) -> list[str]:
+        return [f"sparse_{i}" for i in range(self.num_sparse)]
+
+    def hash_sizes(self) -> list[int]:
+        """Per-table cardinalities summing (approximately) to the total.
+
+        Real Criteo tables are wildly skewed; we use a geometric-ish split
+        where table ``i`` gets a share proportional to ``skew**-i``,
+        normalized, with a floor of 1000 ids.
+        """
+        weights = np.power(self.id_skew, -np.arange(self.num_sparse, dtype=np.float64))
+        weights /= weights.sum()
+        sizes = np.maximum(1000, (weights * self.total_hash_size).astype(np.int64))
+        return [int(s) for s in sizes]
+
+    def scaled(self, dense_multiple: int, sparse_multiple: int, name: str | None = None) -> "CriteoSchema":
+        """A wider variant of this schema (used by Plans 2 and 3, Table 3)."""
+        return replace(
+            self,
+            name=name or f"{self.name}_x{sparse_multiple}",
+            num_dense=self.num_dense * dense_multiple,
+            num_sparse=self.num_sparse * sparse_multiple,
+        )
+
+
+KAGGLE_SCHEMA = CriteoSchema(name="criteo_kaggle", total_hash_size=33_700_000)
+TERABYTE_SCHEMA = CriteoSchema(name="criteo_terabyte", total_hash_size=177_900_000)
+
+
+class SyntheticCriteoDataset:
+    """Deterministic generator of Criteo-schema batches.
+
+    Dense values are uniform in [0, 1] with ``nan_rate`` of entries replaced
+    by NaN (raw logs have missing fields). Sparse ids follow a truncated
+    Zipf so hot ids dominate, matching the access skew that makes embedding
+    lookup memory-bound. Batches are reproducible: batch ``i`` from two
+    generators with the same seed is identical.
+    """
+
+    def __init__(self, schema: CriteoSchema, seed: int = 2024) -> None:
+        self.schema = schema
+        self.seed = seed
+        self._hash_sizes = schema.hash_sizes()
+
+    def batch(self, batch_size: int, index: int = 0) -> Batch:
+        """Materialize batch ``index`` with ``batch_size`` rows."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = np.random.default_rng((self.seed, index))
+        dense = {}
+        for name in self.schema.dense_names():
+            vals = rng.random(batch_size, dtype=np.float32)
+            if self.schema.nan_rate > 0:
+                mask = rng.random(batch_size) < self.schema.nan_rate
+                vals[mask] = np.nan
+            dense[name] = DenseColumn(name, vals)
+        sparse = {}
+        for name, hash_size in zip(self.schema.sparse_names(), self._hash_sizes):
+            lengths = rng.poisson(self.schema.avg_list_length, size=batch_size)
+            lengths = np.maximum(lengths, 1)
+            offsets = np.zeros(batch_size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            nnz = int(offsets[-1])
+            # Truncated Zipf-ish draw: square a uniform to concentrate mass
+            # on low ids, then scale into the table's id space.
+            u = rng.random(nnz)
+            values = np.minimum((u**2 * hash_size).astype(np.int64), hash_size - 1)
+            sparse[name] = SparseColumn(name, offsets, values, hash_size)
+        return Batch(dense=dense, sparse=sparse)
+
+    def batches(self, batch_size: int, count: int, start: int = 0):
+        """Yield ``count`` consecutive batches starting at ``start``."""
+        for i in range(start, start + count):
+            yield self.batch(batch_size, index=i)

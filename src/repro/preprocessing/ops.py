@@ -1,0 +1,612 @@
+"""The DLRM input-preprocessing operator library (Table 1 of the paper).
+
+Every operator has two faces:
+
+1. **A real data transform** (``apply``) over the numpy column containers
+   in :mod:`repro.preprocessing.data` -- the functional behaviour a
+   downstream user gets when executing a preprocessing graph.
+2. **A cost descriptor** (``gpu_kernel`` / ``cpu_latency_us``) -- the
+   resource-annotated kernel the GPU simulator executes, standing in for
+   the paper's handwritten CUDA kernels.
+
+The ground-truth GPU latency model is analytic (launch overhead plus a
+compute term that saturates with warp occupancy plus an output-write term)
+with a deterministic per-configuration perturbation, so the ML latency
+predictor of §5.2 has real, non-trivially-learnable structure. Operator
+families differ sharply in cost -- feature generation (Ngram) is an order
+of magnitude heavier than normalization -- matching Fig. 5c's observation
+that per-warp cost varies across operators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, ClassVar, Sequence
+
+import numpy as np
+
+from ..gpusim.kernel import KernelDesc
+from ..gpusim.resources import GpuSpec, ResourceVector, A100_SPEC, warps_to_sm_fraction
+from .data import Batch, DenseColumn, SparseColumn
+
+__all__ = [
+    "PreprocessingOp",
+    "FillNull",
+    "Cast",
+    "Logit",
+    "BoxCox",
+    "Onehot",
+    "SigridHash",
+    "FirstX",
+    "Clamp",
+    "Bucketize",
+    "Ngram",
+    "MapId",
+    "OP_REGISTRY",
+    "make_op",
+    "concat_sparse_rows",
+]
+
+_ELEMS_PER_WARP = 128  # 32 lanes x 4 elements per lane
+_MEM_SATURATION_FRACTION = 0.25  # fraction of warp slots needed to saturate DRAM
+
+
+def _config_noise(key: tuple) -> float:
+    """Deterministic +/-8% perturbation keyed on the kernel configuration.
+
+    Real kernel latency depends on cache behaviour, clock residency, and
+    other micro-effects our analytic model omits; this stands in for them
+    so that the latency predictor's +/-10% accuracy target (Table 5) is a
+    real bar rather than a tautology.
+    """
+    digest = hashlib.md5(repr(key).encode()).digest()
+    unit = int.from_bytes(digest[:4], "little") / 0xFFFFFFFF
+    return 0.92 + 0.16 * unit
+
+
+def concat_sparse_rows(columns: Sequence[SparseColumn], name: str, hash_size: int) -> SparseColumn:
+    """Row-wise concatenation of several ragged columns (vectorized).
+
+    Row ``i`` of the result is the concatenation of row ``i`` of each input
+    in order -- the layout Ngram consumes when it spans multiple sparse
+    features.
+    """
+    if not columns:
+        raise ValueError("need at least one column to concatenate")
+    rows = columns[0].num_rows
+    for col in columns:
+        if col.num_rows != rows:
+            raise ValueError("all columns must have the same row count")
+    lengths = [col.lengths() for col in columns]
+    total_lengths = np.sum(lengths, axis=0)
+    offsets = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(total_lengths, out=offsets[1:])
+    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    prefix = np.zeros(rows, dtype=np.int64)
+    for col, lens in zip(columns, lengths):
+        starts = offsets[:-1] + prefix
+        if col.nnz:
+            within = np.arange(col.nnz, dtype=np.int64) - np.repeat(col.offsets[:-1], lens)
+            targets = np.repeat(starts, lens) + within
+            values[targets] = col.values
+        prefix = prefix + lens
+    return SparseColumn(name, offsets, values, hash_size)
+
+
+@dataclass
+class PreprocessingOp:
+    """Base class for all Table-1 operators.
+
+    Subclasses define the transform (``apply``) plus class-level cost
+    coefficients. Instances are immutable descriptors bound to their input
+    column names; the same instance can be applied to any batch carrying
+    those columns.
+    """
+
+    inputs: tuple[str, ...]
+    output: str
+
+    # -- classification (Table 1) --------------------------------------
+    op_name: ClassVar[str] = "base"
+    category: ClassVar[str] = "Other"  # DN / SN / FG / Other
+    input_kind: ClassVar[str] = "dense"  # dense / sparse / multi_sparse
+    output_kind: ClassVar[str] = "dense"
+    predictor_family: ClassVar[str] = "1D Ops"  # Table 5 grouping
+
+    # -- cost coefficients (per element, full-device rates) ------------
+    gpu_elems_per_us: ClassVar[float] = 50_000.0
+    cpu_elems_per_us: ClassVar[float] = 2.5
+    bytes_per_elem: ClassVar[float] = 8.0
+    dram_intensity: ClassVar[float] = 0.8
+
+    def __post_init__(self) -> None:
+        self.inputs = tuple(self.inputs)
+        if not self.inputs:
+            raise ValueError(f"{self.op_name} needs at least one input column")
+        if self.input_kind != "multi_sparse" and len(self.inputs) != 1:
+            raise ValueError(f"{self.op_name} takes exactly one input column")
+
+    # ------------------------------------------------------------------
+    # Functional behaviour
+    # ------------------------------------------------------------------
+
+    def apply(self, batch: Batch) -> DenseColumn | SparseColumn:
+        """Apply the transform to ``batch`` and return the output column.
+
+        The output is also inserted into the batch so chained operators can
+        consume it.
+        """
+        columns = [batch.column(name) for name in self.inputs]
+        result = self._transform(columns)
+        batch.put(result)
+        return result
+
+    def _transform(self, columns: list) -> DenseColumn | SparseColumn:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
+        """Number of processed elements for a batch of ``rows`` samples."""
+        if self.input_kind == "dense":
+            return float(rows)
+        if self.input_kind == "sparse":
+            return rows * avg_list_length
+        return rows * avg_list_length * len(self.inputs)
+
+    def output_bytes(self, rows: int, avg_list_length: float = 2.0) -> float:
+        return self.work_elements(rows, avg_list_length) * self.bytes_per_elem
+
+    def _params_key(self) -> tuple:
+        """Operator parameters that influence latency (noise + predictor)."""
+        return ()
+
+    def num_warps(self, rows: int, avg_list_length: float = 2.0) -> int:
+        work = self.work_elements(rows, avg_list_length)
+        return max(1, int(np.ceil(work / _ELEMS_PER_WARP)))
+
+    def gpu_kernel(
+        self,
+        rows: int,
+        spec: GpuSpec = A100_SPEC,
+        avg_list_length: float = 2.0,
+        name: str | None = None,
+    ) -> KernelDesc:
+        """Lower this operator to a resource-annotated simulated kernel."""
+        work = self.work_elements(rows, avg_list_length)
+        warps = self.num_warps(rows, avg_list_length)
+        sm_frac = warps_to_sm_fraction(warps, spec)
+        occupancy = max(warps / spec.total_warp_slots, 1e-4)
+        compute_us = work / (self.gpu_elems_per_us * min(1.0, occupancy))
+        write_us = self.output_bytes(rows, avg_list_length) / spec.dram_bytes_per_us
+        body_us = max(compute_us, write_us)
+        noise = _config_noise((self.op_name, rows, round(avg_list_length, 3)) + self._params_key())
+        duration = spec.kernel_launch_us + body_us * noise
+        dram_frac = self.dram_intensity * min(1.0, warps / (spec.total_warp_slots * _MEM_SATURATION_FRACTION))
+        return KernelDesc(
+            name=name or f"{self.op_name}:{self.output}",
+            duration_us=duration,
+            demand=ResourceVector(sm=sm_frac, dram=dram_frac),
+            num_warps=warps,
+            tag=self.op_name,
+            launch_us=spec.kernel_launch_us,
+            warp_slots=spec.total_warp_slots,
+            meta={
+                "rows": rows,
+                "avg_list_length": avg_list_length,
+                "params": self._params_key(),
+                "members": 1,
+            },
+        )
+
+    def cpu_latency_us(self, rows: int, avg_list_length: float = 2.0) -> float:
+        """Single-worker CPU latency (the TorchArrow substrate's currency)."""
+        work = self.work_elements(rows, avg_list_length)
+        return work / self.cpu_elems_per_us
+
+    def cost_features(self, rows: int, avg_list_length: float = 2.0) -> dict[str, float]:
+        """Feature vector for the ML latency predictor (§5.2)."""
+        params = self._params_key()
+        features = {
+            "rows": float(rows),
+            "avg_list_length": float(avg_list_length),
+            "work": self.work_elements(rows, avg_list_length),
+            "warps": float(self.num_warps(rows, avg_list_length)),
+            "output_bytes": self.output_bytes(rows, avg_list_length),
+            "num_inputs": float(len(self.inputs)),
+        }
+        for i, p in enumerate(params):
+            features[f"param_{i}"] = float(p)
+        return features
+
+    def describe(self) -> str:
+        return f"{self.op_name}({', '.join(self.inputs)}) -> {self.output}"
+
+
+# ----------------------------------------------------------------------
+# Dense normalization (DN)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Logit(PreprocessingOp):
+    """Logit transform for dense normalization: ``log(p / (1 - p))``.
+
+    Inputs are clipped into ``(eps, 1 - eps)`` first; the synthetic dense
+    columns live in [0, 1] (plus NaNs that FillNull clears upstream).
+    """
+
+    eps: float = 1e-5
+
+    op_name: ClassVar[str] = "Logit"
+    category: ClassVar[str] = "DN"
+    gpu_elems_per_us: ClassVar[float] = 13_000.0
+    cpu_elems_per_us: ClassVar[float] = 1.2
+    dram_intensity: ClassVar[float] = 0.5
+
+    def _params_key(self) -> tuple:
+        return (self.eps,)
+
+    def _transform(self, columns: list) -> DenseColumn:
+        (col,) = columns
+        p = np.clip(col.values.astype(np.float64), self.eps, 1.0 - self.eps)
+        return DenseColumn(self.output, np.log(p / (1.0 - p)).astype(np.float32))
+
+
+@dataclass
+class BoxCox(PreprocessingOp):
+    """Box-Cox power transform for dense normalization."""
+
+    lmbda: float = 0.5
+
+    op_name: ClassVar[str] = "BoxCox"
+    category: ClassVar[str] = "DN"
+    gpu_elems_per_us: ClassVar[float] = 15_000.0
+    cpu_elems_per_us: ClassVar[float] = 0.9
+    dram_intensity: ClassVar[float] = 0.4
+
+    def _params_key(self) -> tuple:
+        return (self.lmbda,)
+
+    def _transform(self, columns: list) -> DenseColumn:
+        (col,) = columns
+        x = np.maximum(col.values.astype(np.float64), 1e-6)
+        if abs(self.lmbda) < 1e-12:
+            y = np.log(x)
+        else:
+            y = (np.power(x, self.lmbda) - 1.0) / self.lmbda
+        return DenseColumn(self.output, y.astype(np.float32))
+
+
+@dataclass
+class Onehot(PreprocessingOp):
+    """One-hot encode a dense feature into ``num_classes`` buckets.
+
+    The hot index is what downstream embedding/MLP consumption actually
+    reads, so the output is materialized as a single-id sparse column of
+    cardinality ``num_classes`` rather than an explicit binary matrix.
+    """
+
+    num_classes: int = 16
+
+    op_name: ClassVar[str] = "Onehot"
+    category: ClassVar[str] = "DN"
+    output_kind: ClassVar[str] = "sparse"
+    predictor_family: ClassVar[str] = "Onehot"
+    gpu_elems_per_us: ClassVar[float] = 18_000.0
+    cpu_elems_per_us: ClassVar[float] = 2.0
+    dram_intensity: ClassVar[float] = 0.9
+
+    def _params_key(self) -> tuple:
+        return (self.num_classes,)
+
+    def output_bytes(self, rows: int, avg_list_length: float = 2.0) -> float:
+        # The encoding writes one byte per class per row before compaction.
+        return float(rows) * self.num_classes
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        x = np.nan_to_num(col.values.astype(np.float64), nan=0.0)
+        x = np.clip(x, 0.0, 1.0)
+        idx = np.minimum((x * self.num_classes).astype(np.int64), self.num_classes - 1)
+        offsets = np.arange(len(idx) + 1, dtype=np.int64)
+        return SparseColumn(self.output, offsets, idx, self.num_classes)
+
+
+# ----------------------------------------------------------------------
+# Sparse normalization (SN)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SigridHash(PreprocessingOp):
+    """Hash sparse ids into a bounded id space (Meta's SigridHash)."""
+
+    salt: int = 0x9E3779B9
+    max_value: int = 1_000_000
+
+    op_name: ClassVar[str] = "SigridHash"
+    category: ClassVar[str] = "SN"
+    input_kind: ClassVar[str] = "sparse"
+    output_kind: ClassVar[str] = "sparse"
+    gpu_elems_per_us: ClassVar[float] = 28_000.0
+    cpu_elems_per_us: ClassVar[float] = 1.1
+    dram_intensity: ClassVar[float] = 0.45
+
+    def _params_key(self) -> tuple:
+        return (self.salt, self.max_value)
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        v = col.values.astype(np.uint64)
+        salt = np.uint64(self.salt)
+        h = (v * np.uint64(0x9E3779B97F4A7C15) + salt) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        h ^= h >> np.uint64(29)
+        h *= np.uint64(0xBF58476D1CE4E5B9)
+        h ^= h >> np.uint64(32)
+        hashed = (h % np.uint64(self.max_value)).astype(np.int64)
+        return SparseColumn(self.output, col.offsets.copy(), hashed, self.max_value)
+
+
+@dataclass
+class FirstX(PreprocessingOp):
+    """Keep only the first ``x`` ids of each row's list (list truncation)."""
+
+    x: int = 3
+
+    op_name: ClassVar[str] = "FirstX"
+    category: ClassVar[str] = "SN"
+    input_kind: ClassVar[str] = "sparse"
+    output_kind: ClassVar[str] = "sparse"
+    predictor_family: ClassVar[str] = "FirstX"
+    gpu_elems_per_us: ClassVar[float] = 38_000.0
+    cpu_elems_per_us: ClassVar[float] = 3.0
+    dram_intensity: ClassVar[float] = 0.85
+
+    def _params_key(self) -> tuple:
+        return (self.x,)
+
+    def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
+        return rows * min(float(self.x), avg_list_length)
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        if self.x <= 0:
+            raise ValueError("FirstX needs x >= 1")
+        lengths = np.minimum(col.lengths(), self.x)
+        offsets = np.zeros(col.num_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        keep = np.zeros(col.nnz, dtype=bool)
+        if col.nnz:
+            within = np.arange(col.nnz, dtype=np.int64) - np.repeat(col.offsets[:-1], col.lengths())
+            keep = within < self.x
+        return SparseColumn(self.output, offsets, col.values[keep], col.hash_size)
+
+
+@dataclass
+class Clamp(PreprocessingOp):
+    """Clamp sparse ids into ``[lower, upper]``."""
+
+    lower: int = 0
+    upper: int = 1_000_000
+
+    op_name: ClassVar[str] = "Clamp"
+    category: ClassVar[str] = "SN"
+    input_kind: ClassVar[str] = "sparse"
+    output_kind: ClassVar[str] = "sparse"
+    gpu_elems_per_us: ClassVar[float] = 34_000.0
+    cpu_elems_per_us: ClassVar[float] = 2.8
+    dram_intensity: ClassVar[float] = 0.8
+
+    def _params_key(self) -> tuple:
+        return (self.lower, self.upper)
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        if self.lower > self.upper:
+            raise ValueError("Clamp lower bound exceeds upper bound")
+        clipped = np.clip(col.values, self.lower, self.upper)
+        return SparseColumn(self.output, col.offsets.copy(), clipped, max(col.hash_size, self.upper + 1))
+
+
+# ----------------------------------------------------------------------
+# Feature generation (FG)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Bucketize(PreprocessingOp):
+    """Shard a dense feature into buckets given sorted borders."""
+
+    borders: tuple[float, ...] = (0.25, 0.5, 0.75)
+
+    op_name: ClassVar[str] = "Bucketize"
+    category: ClassVar[str] = "FG"
+    output_kind: ClassVar[str] = "sparse"
+    predictor_family: ClassVar[str] = "Bucketize"
+    gpu_elems_per_us: ClassVar[float] = 20_000.0
+    cpu_elems_per_us: ClassVar[float] = 1.0
+    dram_intensity: ClassVar[float] = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.borders = tuple(self.borders)
+        if list(self.borders) != sorted(self.borders):
+            raise ValueError("Bucketize borders must be sorted ascending")
+
+    def _params_key(self) -> tuple:
+        return (len(self.borders),)
+
+    def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
+        # Binary search over the borders per element.
+        return rows * max(1.0, np.log2(len(self.borders) + 1))
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        x = np.nan_to_num(col.values.astype(np.float64), nan=0.0)
+        idx = np.searchsorted(np.asarray(self.borders), x, side="right").astype(np.int64)
+        offsets = np.arange(len(idx) + 1, dtype=np.int64)
+        return SparseColumn(self.output, offsets, idx, len(self.borders) + 1)
+
+
+@dataclass
+class Ngram(PreprocessingOp):
+    """Compute an n-gram across one or more sparse features (heavyweight FG).
+
+    The per-row lists of all input features are concatenated in order and
+    every window of ``n`` consecutive ids is hashed into a new id. This is
+    the paper's case-study operator: its cost grows with the number of
+    input features until the kernel saturates the device (Fig. 1b).
+    """
+
+    n: int = 3
+    out_hash_size: int = 1_000_000
+
+    op_name: ClassVar[str] = "Ngram"
+    category: ClassVar[str] = "FG"
+    input_kind: ClassVar[str] = "multi_sparse"
+    output_kind: ClassVar[str] = "sparse"
+    predictor_family: ClassVar[str] = "Ngram"
+    gpu_elems_per_us: ClassVar[float] = 9_000.0
+    cpu_elems_per_us: ClassVar[float] = 1.5
+    dram_intensity: ClassVar[float] = 0.6
+
+    def _params_key(self) -> tuple:
+        return (self.n, len(self.inputs))
+
+    def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
+        # Every element participates in up to n windows.
+        return rows * avg_list_length * len(self.inputs) * self.n
+
+    def _transform(self, columns: list) -> SparseColumn:
+        if self.n < 1:
+            raise ValueError("Ngram needs n >= 1")
+        combined = concat_sparse_rows(columns, self.output + "_cat", self.out_hash_size)
+        lengths = combined.lengths()
+        out_lengths = np.maximum(lengths - self.n + 1, 0)
+        offsets = np.zeros(combined.num_rows + 1, dtype=np.int64)
+        np.cumsum(out_lengths, out=offsets[1:])
+        nnz = combined.nnz
+        if nnz == 0 or int(offsets[-1]) == 0:
+            return SparseColumn(self.output, offsets, np.empty(0, dtype=np.int64), self.out_hash_size)
+        values = combined.values.astype(np.uint64)
+        prime = np.uint64(1_000_003)
+        h = np.zeros(nnz, dtype=np.uint64)
+        for t in range(self.n):
+            shifted = np.zeros(nnz, dtype=np.uint64)
+            shifted[: nnz - t] = values[t:]
+            h = h * prime + shifted
+        row_ids = np.repeat(np.arange(combined.num_rows), lengths)
+        tail_rows = np.full(nnz, -1, dtype=np.int64)
+        tail_rows[: nnz - (self.n - 1)] = row_ids[self.n - 1 :] if self.n > 1 else row_ids
+        valid = row_ids == tail_rows
+        grams = (h[valid] % np.uint64(self.out_hash_size)).astype(np.int64)
+        return SparseColumn(self.output, offsets, grams, self.out_hash_size)
+
+
+@dataclass
+class MapId(PreprocessingOp):
+    """Map sparse ids to fixed values via an affine remap table."""
+
+    multiplier: int = 2_654_435_761
+    offset: int = 1
+    table_size: int = 1_000_000
+
+    op_name: ClassVar[str] = "MapId"
+    category: ClassVar[str] = "FG"
+    input_kind: ClassVar[str] = "sparse"
+    output_kind: ClassVar[str] = "sparse"
+    gpu_elems_per_us: ClassVar[float] = 22_000.0
+    cpu_elems_per_us: ClassVar[float] = 1.5
+    dram_intensity: ClassVar[float] = 0.95
+
+    def _params_key(self) -> tuple:
+        return (self.table_size,)
+
+    def _transform(self, columns: list) -> SparseColumn:
+        (col,) = columns
+        v = col.values.astype(np.uint64)
+        mapped = ((v * np.uint64(self.multiplier) + np.uint64(self.offset)) % np.uint64(self.table_size)).astype(
+            np.int64
+        )
+        return SparseColumn(self.output, col.offsets.copy(), mapped, self.table_size)
+
+
+# ----------------------------------------------------------------------
+# Others
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FillNull(PreprocessingOp):
+    """Replace NaN entries of a dense column with a fixed value."""
+
+    fill_value: float = 0.0
+
+    op_name: ClassVar[str] = "FillNull"
+    category: ClassVar[str] = "Other"
+    gpu_elems_per_us: ClassVar[float] = 40_000.0
+    cpu_elems_per_us: ClassVar[float] = 3.5
+    dram_intensity: ClassVar[float] = 0.9
+
+    def _params_key(self) -> tuple:
+        return (self.fill_value,)
+
+    def _transform(self, columns: list) -> DenseColumn:
+        (col,) = columns
+        out = np.nan_to_num(col.values.astype(np.float32), nan=self.fill_value)
+        return DenseColumn(self.output, out)
+
+
+@dataclass
+class Cast(PreprocessingOp):
+    """Cast a dense column to a different numeric dtype."""
+
+    dtype: str = "float32"
+
+    op_name: ClassVar[str] = "Cast"
+    category: ClassVar[str] = "Other"
+    gpu_elems_per_us: ClassVar[float] = 44_000.0
+    cpu_elems_per_us: ClassVar[float] = 4.0
+    dram_intensity: ClassVar[float] = 0.9
+
+    def _params_key(self) -> tuple:
+        return (self.dtype,)
+
+    def _transform(self, columns: list) -> DenseColumn:
+        (col,) = columns
+        target = np.dtype(self.dtype)
+        vals = col.values
+        if np.issubdtype(target, np.integer):
+            vals = np.nan_to_num(vals, nan=0.0)
+        return DenseColumn(self.output, vals.astype(target))
+
+
+OP_REGISTRY: dict[str, type[PreprocessingOp]] = {
+    cls.op_name: cls
+    for cls in (
+        Logit,
+        BoxCox,
+        Onehot,
+        SigridHash,
+        FirstX,
+        Clamp,
+        Bucketize,
+        Ngram,
+        MapId,
+        FillNull,
+        Cast,
+    )
+}
+
+
+def make_op(op_name: str, inputs: Sequence[str], output: str, **params: Any) -> PreprocessingOp:
+    """Instantiate a registered operator by its Table-1 name."""
+    try:
+        cls = OP_REGISTRY[op_name]
+    except KeyError:
+        raise KeyError(f"unknown preprocessing op {op_name!r}; known: {sorted(OP_REGISTRY)}") from None
+    return cls(inputs=tuple(inputs), output=output, **params)

@@ -1,0 +1,302 @@
+"""The paper's input preprocessing plans (Table 3) plus study variants.
+
+Plans 0 and 1 follow TorchArrow's default Criteo recipe: light
+normalization on every feature (~2.67 ops/feature, 104 ops total). Plans 2
+and 3 are the paper's synthetically densified workloads: 2x / 4x the
+features with deeper per-feature chains and extra feature-generation
+(Ngram) graphs, totalling 384 and 1548 operators.
+
+The exact per-feature chains are not published; we reconstruct them to hit
+Table 3's op counts exactly while exercising the structural properties the
+paper calls out: repeated same-type operators inside one chain (serializing
+fusion), opposite-order pairs like ``FirstX -> SigridHash`` vs
+``SigridHash -> FirstX`` across chains (fusion conflicts, §6.1), and
+multi-input Ngram graphs (expensive feature generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .data import CriteoSchema, KAGGLE_SCHEMA, TERABYTE_SCHEMA
+from .graph import DENSE_CONSUMER, FeatureGraph, GraphSet
+from .ops import (
+    BoxCox,
+    Bucketize,
+    Cast,
+    Clamp,
+    FillNull,
+    FirstX,
+    Logit,
+    MapId,
+    Ngram,
+    SigridHash,
+)
+
+__all__ = ["PlanSpec", "PLAN_TABLE", "build_plan", "build_skewed_plan", "table_for_sparse_feature"]
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """One row of the paper's Table 3."""
+
+    plan_id: int
+    dataset: str
+    num_dense: int
+    num_sparse: int
+    ops_per_feature: float
+    total_ops: int
+
+
+PLAN_TABLE: dict[int, PlanSpec] = {
+    0: PlanSpec(0, "kaggle", 13, 26, 2.67, 104),
+    1: PlanSpec(1, "terabyte", 13, 26, 2.67, 104),
+    2: PlanSpec(2, "terabyte", 26, 52, 4.92, 384),
+    3: PlanSpec(3, "terabyte", 52, 104, 9.80, 1548),
+}
+
+
+def table_for_sparse_feature(feature: str) -> str:
+    """Embedding-table name consuming a raw sparse feature's graph."""
+    return f"table:{feature}"
+
+
+def _dense_graph_light(i: int) -> FeatureGraph:
+    base = f"dense_{i}"
+    p = f"p0d{i}"
+    return FeatureGraph(
+        name=f"g_dense_{i}",
+        ops=[
+            FillNull(inputs=(base,), output=f"{p}_fill"),
+            Logit(inputs=(f"{p}_fill",), output=f"{p}_out"),
+        ],
+        consumer=DENSE_CONSUMER,
+    )
+
+
+def _sparse_graph_light(j: int) -> FeatureGraph:
+    base = f"sparse_{j}"
+    p = f"p0s{j}"
+    return FeatureGraph(
+        name=f"g_sparse_{j}",
+        ops=[
+            SigridHash(inputs=(base,), output=f"{p}_hash", max_value=500_000),
+            FirstX(inputs=(f"{p}_hash",), output=f"{p}_first", x=3),
+            Clamp(inputs=(f"{p}_first",), output=f"{p}_out", lower=0, upper=499_999),
+        ],
+        consumer=table_for_sparse_feature(base),
+    )
+
+
+def _build_light_plan(plan_id: int, schema: CriteoSchema, rows: int) -> GraphSet:
+    """Plans 0 and 1: TorchArrow's default Criteo preprocessing recipe."""
+    graphs = [_dense_graph_light(i) for i in range(schema.num_dense)]
+    graphs += [_sparse_graph_light(j) for j in range(schema.num_sparse)]
+    return GraphSet(graphs, rows=rows)
+
+
+def _dense_graph_plan2(i: int) -> FeatureGraph:
+    base = f"dense_{i}"
+    p = f"p2d{i}"
+    if i % 2 == 0:
+        ops = [
+            FillNull(inputs=(base,), output=f"{p}_fill"),
+            Logit(inputs=(f"{p}_fill",), output=f"{p}_logit"),
+            BoxCox(inputs=(f"{p}_logit",), output=f"{p}_bc", lmbda=0.5),
+            Cast(inputs=(f"{p}_bc",), output=f"{p}_out", dtype="float32"),
+        ]
+        consumer = DENSE_CONSUMER
+    else:
+        ops = [
+            FillNull(inputs=(base,), output=f"{p}_fill"),
+            BoxCox(inputs=(f"{p}_fill",), output=f"{p}_bc", lmbda=0.25),
+            Bucketize(inputs=(f"{p}_bc",), output=f"{p}_bkt", borders=(0.1, 0.3, 0.5, 0.7, 0.9)),
+            MapId(inputs=(f"{p}_bkt",), output=f"{p}_out", table_size=64),
+        ]
+        consumer = f"table:plan2_bucket_{i}"
+    return FeatureGraph(name=f"g_dense_{i}", ops=ops, consumer=consumer)
+
+
+def _sparse_graph_plan2(j: int) -> FeatureGraph:
+    base = f"sparse_{j}"
+    p = f"p2s{j}"
+    if j % 2 == 0:
+        # SigridHash appears twice with a dependency between them, and the
+        # chain orders SigridHash before FirstX ...
+        ops = [
+            SigridHash(inputs=(base,), output=f"{p}_h1", max_value=800_000),
+            FirstX(inputs=(f"{p}_h1",), output=f"{p}_fx", x=4),
+            Clamp(inputs=(f"{p}_fx",), output=f"{p}_cl", lower=0, upper=799_999),
+            MapId(inputs=(f"{p}_cl",), output=f"{p}_map", table_size=800_000),
+            SigridHash(inputs=(f"{p}_map",), output=f"{p}_out", max_value=400_000, salt=17),
+        ]
+    else:
+        # ... while odd chains order FirstX before SigridHash, creating the
+        # cross-chain fusion conflict the paper describes in §6.1.
+        ops = [
+            FirstX(inputs=(base,), output=f"{p}_fx", x=4),
+            SigridHash(inputs=(f"{p}_fx",), output=f"{p}_h1", max_value=800_000),
+            Clamp(inputs=(f"{p}_h1",), output=f"{p}_cl", lower=0, upper=799_999),
+            SigridHash(inputs=(f"{p}_cl",), output=f"{p}_h2", max_value=400_000, salt=23),
+            MapId(inputs=(f"{p}_h2",), output=f"{p}_out", table_size=400_000),
+        ]
+    return FeatureGraph(name=f"g_sparse_{j}", ops=ops, consumer=table_for_sparse_feature(base))
+
+
+def _ngram_graph(tag: str, k: int, feature_ids: list[int], n: int, extra_ops: int) -> FeatureGraph:
+    """A feature-generation graph: Ngram over several raw sparse features."""
+    inputs = tuple(f"sparse_{j}" for j in feature_ids)
+    p = f"{tag}ng{k}"
+    ops = [Ngram(inputs=inputs, output=f"{p}_gram", n=n, out_hash_size=2_000_000)]
+    chain = [
+        SigridHash(inputs=(f"{p}_gram",), output=f"{p}_h", max_value=1_000_000),
+        FirstX(inputs=(f"{p}_h",), output=f"{p}_fx", x=6),
+        Clamp(inputs=(f"{p}_fx",), output=f"{p}_cl", lower=0, upper=999_999),
+    ]
+    ops.extend(chain[:extra_ops])
+    return FeatureGraph(
+        name=f"g_ngram_{tag}_{k}",
+        ops=ops,
+        consumer=f"table:{tag}_ngram_{k}",
+        avg_list_length=2.0 * len(inputs),
+    )
+
+
+def _build_plan2(schema: CriteoSchema, rows: int) -> GraphSet:
+    graphs = [_dense_graph_plan2(i) for i in range(schema.num_dense)]
+    graphs += [_sparse_graph_plan2(j) for j in range(schema.num_sparse)]
+    # 10 Ngram graphs x 2 ops: 104 + 260 + 20 = 384 total operators.
+    for k in range(10):
+        feats = [(3 * k + d) % schema.num_sparse for d in range(3)]
+        graphs.append(_ngram_graph("p2", k, feats, n=3, extra_ops=1))
+    return GraphSet(graphs, rows=rows)
+
+
+def _dense_graph_plan3(i: int) -> FeatureGraph:
+    base = f"dense_{i}"
+    p = f"p3d{i}"
+    ops = [
+        FillNull(inputs=(base,), output=f"{p}_fill"),
+        Logit(inputs=(f"{p}_fill",), output=f"{p}_l1"),
+        BoxCox(inputs=(f"{p}_l1",), output=f"{p}_b1", lmbda=0.5),
+        Cast(inputs=(f"{p}_b1",), output=f"{p}_c1", dtype="float64"),
+        Logit(inputs=(f"{p}_c1",), output=f"{p}_l2", eps=1e-4),
+        BoxCox(inputs=(f"{p}_l2",), output=f"{p}_b2", lmbda=0.25),
+        Logit(inputs=(f"{p}_b2",), output=f"{p}_l3", eps=1e-3),
+        Cast(inputs=(f"{p}_l3",), output=f"{p}_out", dtype="float32"),
+    ]
+    return FeatureGraph(name=f"g_dense_{i}", ops=ops, consumer=DENSE_CONSUMER)
+
+
+def _sparse_graph_plan3(j: int) -> FeatureGraph:
+    base = f"sparse_{j}"
+    p = f"p3s{j}"
+    if j % 2 == 0:
+        ops = [
+            SigridHash(inputs=(base,), output=f"{p}_h1", max_value=900_000),
+            FirstX(inputs=(f"{p}_h1",), output=f"{p}_f1", x=5),
+            Clamp(inputs=(f"{p}_f1",), output=f"{p}_c1", lower=0, upper=899_999),
+            MapId(inputs=(f"{p}_c1",), output=f"{p}_m1", table_size=900_000),
+            SigridHash(inputs=(f"{p}_m1",), output=f"{p}_h2", max_value=600_000, salt=7),
+            FirstX(inputs=(f"{p}_h2",), output=f"{p}_f2", x=3),
+            Clamp(inputs=(f"{p}_f2",), output=f"{p}_c2", lower=0, upper=599_999),
+            MapId(inputs=(f"{p}_c2",), output=f"{p}_m2", table_size=600_000),
+            SigridHash(inputs=(f"{p}_m2",), output=f"{p}_h3", max_value=300_000, salt=11),
+            Clamp(inputs=(f"{p}_h3",), output=f"{p}_out", lower=0, upper=299_999),
+        ]
+    else:
+        ops = [
+            FirstX(inputs=(base,), output=f"{p}_f1", x=5),
+            SigridHash(inputs=(f"{p}_f1",), output=f"{p}_h1", max_value=900_000),
+            MapId(inputs=(f"{p}_h1",), output=f"{p}_m1", table_size=900_000),
+            Clamp(inputs=(f"{p}_m1",), output=f"{p}_c1", lower=0, upper=899_999),
+            FirstX(inputs=(f"{p}_c1",), output=f"{p}_f2", x=3),
+            SigridHash(inputs=(f"{p}_f2",), output=f"{p}_h2", max_value=600_000, salt=13),
+            MapId(inputs=(f"{p}_h2",), output=f"{p}_m2", table_size=600_000),
+            Clamp(inputs=(f"{p}_m2",), output=f"{p}_c2", lower=0, upper=599_999),
+            SigridHash(inputs=(f"{p}_c2",), output=f"{p}_h3", max_value=300_000, salt=19),
+            Clamp(inputs=(f"{p}_h3",), output=f"{p}_out", lower=0, upper=299_999),
+        ]
+    return FeatureGraph(name=f"g_sparse_{j}", ops=ops, consumer=table_for_sparse_feature(base))
+
+
+def _build_plan3(schema: CriteoSchema, rows: int) -> GraphSet:
+    graphs = [_dense_graph_plan3(i) for i in range(schema.num_dense)]
+    graphs += [_sparse_graph_plan3(j) for j in range(schema.num_sparse)]
+    # 23 Ngram graphs x 4 ops: 416 + 1040 + 92 = 1548 total operators.
+    for k in range(23):
+        feats = [(4 * k + d) % schema.num_sparse for d in range(4)]
+        graphs.append(_ngram_graph("p3", k, feats, n=3, extra_ops=3))
+    return GraphSet(graphs, rows=rows)
+
+
+def build_plan(plan_id: int, rows: int = 4096) -> tuple[GraphSet, CriteoSchema]:
+    """Build Table 3's plan ``plan_id`` at batch size ``rows``.
+
+    Returns the workload :class:`GraphSet` and the matching data schema.
+    """
+    spec = PLAN_TABLE.get(plan_id)
+    if spec is None:
+        raise KeyError(f"unknown plan {plan_id}; valid plans: {sorted(PLAN_TABLE)}")
+    base = KAGGLE_SCHEMA if spec.dataset == "kaggle" else TERABYTE_SCHEMA
+    if plan_id in (0, 1):
+        schema = base
+        graphs = _build_light_plan(plan_id, schema, rows)
+    elif plan_id == 2:
+        schema = base.scaled(2, 2, name=f"{base.name}_plan2")
+        graphs = _build_plan2(schema, rows)
+    else:
+        schema = base.scaled(4, 4, name=f"{base.name}_plan3")
+        graphs = _build_plan3(schema, rows)
+    expected = spec.total_ops
+    actual = graphs.total_ops
+    if actual != expected:
+        raise AssertionError(f"plan {plan_id} built {actual} ops, Table 3 says {expected}")
+    return graphs, schema
+
+
+def build_skewed_plan(
+    rows: int = 4096,
+    num_gpus: int = 4,
+    heavy_every: int | None = None,
+    heavy_features: Sequence[int] | None = None,
+    graphs_per_heavy_feature: int = 1,
+) -> tuple[GraphSet, CriteoSchema]:
+    """A deliberately imbalanced workload for the Fig. 12 mapping study.
+
+    A subset of sparse features -- ``heavy_features`` explicitly, or every
+    ``heavy_every``-th feature -- receives ``graphs_per_heavy_feature``
+    extra Ngram feature-generation graphs routed to its embedding table.
+    Passing the features whose tables live on one GPU (see
+    ``repro.dlrm.EmbeddingPlacement.tables_on_gpu``) piles work onto that
+    GPU under data-locality mapping, while data-parallel mapping pays
+    per-feature input communication: the Fig.-12 tension RAP resolves.
+    """
+    schema = TERABYTE_SCHEMA
+    base, _ = build_plan(1, rows=rows)
+    graphs = list(base.graphs)
+    if heavy_features is not None:
+        heavy_ids = list(heavy_features)
+    else:
+        stride = heavy_every or num_gpus
+        heavy_ids = [j for j in range(schema.num_sparse) if j % stride == 0]
+    for j in heavy_ids:
+        if not 0 <= j < schema.num_sparse:
+            raise IndexError(f"heavy feature {j} outside schema of {schema.num_sparse} sparse features")
+    k = 0
+    for j in heavy_ids:
+        for _ in range(graphs_per_heavy_feature):
+            feats = [j, (j + 1) % schema.num_sparse, (j + 2) % schema.num_sparse]
+            g = _ngram_graph("skew", k, feats, n=3, extra_ops=3)
+            # Route the generated feature to the heavy feature's table.
+            graphs.append(
+                FeatureGraph(
+                    name=g.name,
+                    ops=g.ops,
+                    consumer=table_for_sparse_feature(f"sparse_{j}"),
+                    avg_list_length=g.avg_list_length,
+                )
+            )
+            k += 1
+    return GraphSet(graphs, rows=rows), schema

@@ -1,0 +1,176 @@
+"""Random preprocessing-plan generation.
+
+The paper built Plans 2 and 3 by "randomly applying different input
+preprocessing operations" to a widened Criteo schema. This module exposes
+that generator as a first-class, seedable API so property tests, fuzzing,
+and sensitivity studies can sample the space of plausible workloads rather
+than exercising only the four fixed plans.
+
+Generated graphs are always valid: chains respect operator input kinds
+(dense ops feed dense ops until a bucketizing op flips the column sparse,
+sparse ops feed sparse ops), every output column name is unique, and every
+sparse-consumer graph ends in a sparse column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .data import CriteoSchema, TERABYTE_SCHEMA
+from .graph import DENSE_CONSUMER, FeatureGraph, GraphSet
+from .ops import (
+    BoxCox,
+    Bucketize,
+    Cast,
+    Clamp,
+    FillNull,
+    FirstX,
+    Logit,
+    MapId,
+    Ngram,
+    PreprocessingOp,
+    SigridHash,
+)
+from .plans import table_for_sparse_feature
+
+__all__ = ["RandomPlanConfig", "generate_random_plan"]
+
+
+@dataclass(frozen=True)
+class RandomPlanConfig:
+    """Knobs of the random workload generator."""
+
+    num_dense: int = 13
+    num_sparse: int = 26
+    min_chain: int = 2
+    max_chain: int = 6
+    num_ngram_graphs: int = 4
+    ngram_width: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_dense < 0 or self.num_sparse < 1:
+            raise ValueError("need at least one sparse feature")
+        if not 1 <= self.min_chain <= self.max_chain:
+            raise ValueError("need 1 <= min_chain <= max_chain")
+        if self.num_ngram_graphs < 0 or self.ngram_width < 1:
+            raise ValueError("ngram settings must be non-negative")
+
+
+def _dense_step(rng: np.random.Generator, src: str, dst: str) -> tuple[PreprocessingOp, bool]:
+    """One dense-input op; returns (op, output_is_sparse)."""
+    roll = rng.integers(0, 5)
+    if roll == 0:
+        return FillNull(inputs=(src,), output=dst, fill_value=float(rng.random())), False
+    if roll == 1:
+        return Logit(inputs=(src,), output=dst, eps=10.0 ** -float(rng.integers(3, 7))), False
+    if roll == 2:
+        return BoxCox(inputs=(src,), output=dst, lmbda=float(rng.uniform(0.1, 1.0))), False
+    if roll == 3:
+        return Cast(inputs=(src,), output=dst, dtype=str(rng.choice(["float32", "float64"]))), False
+    borders = tuple(np.sort(rng.uniform(0.0, 1.0, size=int(rng.integers(2, 9)))))
+    return Bucketize(inputs=(src,), output=dst, borders=borders), True
+
+
+def _sparse_step(rng: np.random.Generator, src: str, dst: str) -> PreprocessingOp:
+    roll = rng.integers(0, 4)
+    if roll == 0:
+        return SigridHash(
+            inputs=(src,), output=dst,
+            max_value=int(rng.integers(10_000, 2_000_000)), salt=int(rng.integers(0, 1000)),
+        )
+    if roll == 1:
+        return FirstX(inputs=(src,), output=dst, x=int(rng.integers(1, 8)))
+    if roll == 2:
+        upper = int(rng.integers(1_000, 2_000_000))
+        return Clamp(inputs=(src,), output=dst, lower=0, upper=upper)
+    return MapId(inputs=(src,), output=dst, table_size=int(rng.integers(10_000, 1_000_000)))
+
+
+def _chain(
+    rng: np.random.Generator,
+    prefix: str,
+    source: str,
+    source_is_sparse: bool,
+    length: int,
+) -> tuple[list[PreprocessingOp], bool]:
+    ops: list[PreprocessingOp] = []
+    current = source
+    is_sparse = source_is_sparse
+    for step in range(length):
+        dst = f"{prefix}_{step}"
+        if is_sparse:
+            ops.append(_sparse_step(rng, current, dst))
+        elif step == 0:
+            # Raw dense columns carry NaNs; every realistic recipe (and the
+            # paper's default plan) imputes first, and downstream transforms
+            # (Logit/BoxCox) are only NaN-safe after imputation.
+            ops.append(FillNull(inputs=(current,), output=dst, fill_value=float(rng.random())))
+        else:
+            op, became_sparse = _dense_step(rng, current, dst)
+            ops.append(op)
+            is_sparse = became_sparse
+        current = dst
+    return ops, is_sparse
+
+
+def generate_random_plan(
+    config: RandomPlanConfig | None = None,
+    rows: int = 4096,
+    schema: CriteoSchema | None = None,
+) -> tuple[GraphSet, CriteoSchema]:
+    """Sample a random but structurally valid preprocessing workload."""
+    config = config or RandomPlanConfig()
+    rng = np.random.default_rng(config.seed)
+    base = schema or TERABYTE_SCHEMA
+    from dataclasses import replace as dc_replace
+
+    schema = dc_replace(
+        base,
+        name=f"random_{config.seed}",
+        num_dense=config.num_dense,
+        num_sparse=config.num_sparse,
+    )
+    graphs: list[FeatureGraph] = []
+
+    for i in range(config.num_dense):
+        length = int(rng.integers(config.min_chain, config.max_chain + 1))
+        ops, is_sparse = _chain(rng, f"r{config.seed}d{i}", f"dense_{i}", False, length)
+        consumer = f"table:rand_bucket_{i}" if is_sparse else DENSE_CONSUMER
+        graphs.append(FeatureGraph(name=f"g_dense_{i}", ops=ops, consumer=consumer))
+
+    for j in range(config.num_sparse):
+        length = int(rng.integers(config.min_chain, config.max_chain + 1))
+        ops, _ = _chain(rng, f"r{config.seed}s{j}", f"sparse_{j}", True, length)
+        graphs.append(
+            FeatureGraph(
+                name=f"g_sparse_{j}",
+                ops=ops,
+                consumer=table_for_sparse_feature(f"sparse_{j}"),
+                avg_list_length=schema.avg_list_length,
+            )
+        )
+
+    for k in range(config.num_ngram_graphs):
+        width = min(config.ngram_width, config.num_sparse)
+        feats = rng.choice(config.num_sparse, size=width, replace=False)
+        prefix = f"r{config.seed}x{k}"
+        gram = Ngram(
+            inputs=tuple(f"sparse_{int(f)}" for f in feats),
+            output=f"{prefix}_gram",
+            n=int(rng.integers(2, 4)),
+            out_hash_size=int(rng.integers(100_000, 3_000_000)),
+        )
+        tail, _ = _chain(rng, prefix, f"{prefix}_gram", True, int(rng.integers(0, 3)))
+        graphs.append(
+            FeatureGraph(
+                name=f"g_cross_{k}",
+                ops=[gram] + tail,
+                consumer=f"table:rand_cross_{k}",
+                avg_list_length=schema.avg_list_length * width,
+            )
+        )
+
+    return GraphSet(graphs, rows=rows), schema

@@ -1,0 +1,117 @@
+"""Tests for the four comparison systems and their relative ordering."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineReport,
+    CpuWorkerPool,
+    run_cuda_stream_baseline,
+    run_mps_baseline,
+    run_sequential_baseline,
+    run_torcharrow_baseline,
+    unfused_kernels_per_gpu,
+)
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=2048)
+    model = model_for_plan(graphs, schema)
+    workload = TrainingWorkload(model, num_gpus=2, local_batch=2048)
+    return graphs, workload
+
+
+@pytest.fixture(scope="module")
+def reports(setting):
+    graphs, workload = setting
+    return {
+        "sequential": run_sequential_baseline(graphs, workload),
+        "cuda_stream": run_cuda_stream_baseline(graphs, workload),
+        "mps": run_mps_baseline(graphs, workload),
+        "torcharrow": run_torcharrow_baseline(graphs, workload),
+        "rap": RapPlanner(workload).plan_and_evaluate(graphs),
+        "ideal": workload.ideal_throughput(),
+    }
+
+
+class TestUnfusedKernels:
+    def test_one_kernel_per_op_per_gpu(self, setting):
+        graphs, workload = setting
+        per_gpu, _, _ = unfused_kernels_per_gpu(graphs, workload)
+        assert len(per_gpu) == 2
+        assert all(len(ks) == graphs.total_ops for ks in per_gpu)
+
+    def test_comm_metadata(self, setting):
+        graphs, workload = setting
+        _, comm_bytes, transfers = unfused_kernels_per_gpu(graphs, workload)
+        assert comm_bytes > 0
+        assert transfers == 26  # one per sparse feature
+
+
+class TestBaselineReports:
+    def test_all_report_positive_throughput(self, reports):
+        for name in ("sequential", "cuda_stream", "mps", "torcharrow"):
+            assert reports[name].throughput > 0, name
+
+    def test_sequential_exposes_everything(self, reports, setting):
+        graphs, workload = setting
+        seq = reports["sequential"]
+        assert seq.exposed_preprocessing_us > 0
+        assert seq.iteration_us > workload.ideal_iteration_us()
+
+    def test_system_names(self, reports):
+        for name in ("sequential", "cuda_stream", "mps", "torcharrow"):
+            assert reports[name].system == name
+
+
+class TestPaperOrdering:
+    """The qualitative ranking of Fig. 9/10 must hold."""
+
+    def test_rap_beats_every_baseline(self, reports):
+        rap = reports["rap"].throughput
+        for name in ("sequential", "cuda_stream", "mps", "torcharrow"):
+            assert rap > reports[name].throughput, name
+
+    def test_mps_beats_stream(self, reports):
+        assert reports["mps"].throughput > reports["cuda_stream"].throughput
+
+    def test_gpu_baselines_beat_torcharrow(self, reports):
+        for name in ("sequential", "cuda_stream", "mps"):
+            assert reports[name].throughput > reports["torcharrow"].throughput
+
+    def test_rap_close_to_ideal(self, reports):
+        assert reports["rap"].throughput >= 0.9 * reports["ideal"]
+
+    def test_nothing_beats_ideal(self, reports):
+        for name in ("sequential", "cuda_stream", "mps", "torcharrow"):
+            assert reports[name].throughput <= reports["ideal"] * 1.001
+
+
+class TestTorchArrowScaling:
+    def test_flat_scaling_when_input_bound(self):
+        """Fig. 9: adding GPUs barely helps a CPU-bound input pipeline."""
+        graphs, schema = build_plan(2, rows=2048)
+        tputs = []
+        for n in (2, 4, 8):
+            workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=n, local_batch=2048)
+            tputs.append(run_torcharrow_baseline(graphs, workload).throughput)
+        # CPU-bound: closer than 1.35x per doubling of GPUs.
+        assert tputs[2] < tputs[0] * 1.8
+
+    def test_worker_pool_saturates(self):
+        graphs, _ = build_plan(0, rows=1024)
+        pool = CpuWorkerPool(workers_per_gpu=8, max_effective_workers=24)
+        # 2 GPUs = 16 workers (below the ceiling); 8 GPUs = 64 requested but
+        # only 24 effective, so production time per global batch grows.
+        t2 = pool.batch_production_us(graphs, 2)
+        t8 = pool.batch_production_us(graphs, 8)
+        assert t8 > 2 * t2
+
+    def test_input_bound_flag(self):
+        graphs, schema = build_plan(3, rows=4096)
+        workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=4096)
+        report = run_torcharrow_baseline(graphs, workload)
+        assert report.details["input_bound"]

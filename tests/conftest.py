@@ -1,0 +1,69 @@
+"""Shared fixtures: small, fast instances of the main objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.gpusim import A100_SPEC, GpuDevice, KernelDesc, ResourceVector, StageProfile
+from repro.preprocessing import SyntheticCriteoDataset, build_plan
+
+
+@pytest.fixture(scope="session")
+def plan0():
+    """Plan 0 (Kaggle recipe) at a small batch size."""
+    graphs, schema = build_plan(0, rows=512)
+    return graphs, schema
+
+
+@pytest.fixture(scope="session")
+def plan1():
+    graphs, schema = build_plan(1, rows=1024)
+    return graphs, schema
+
+
+@pytest.fixture(scope="session")
+def workload_plan1(plan1):
+    """A 2-GPU workload matching plan 1's model."""
+    graphs, schema = plan1
+    model = model_for_plan(graphs, schema)
+    return TrainingWorkload(model, num_gpus=2, local_batch=1024)
+
+
+@pytest.fixture(scope="session")
+def small_batch(plan0):
+    _, schema = plan0
+    return SyntheticCriteoDataset(schema, seed=11).batch(512)
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(A100_SPEC)
+
+
+@pytest.fixture
+def mlp_stage():
+    return StageProfile("mlp_fwd", 1000.0, ResourceVector(0.85, 0.30))
+
+
+@pytest.fixture
+def emb_stage():
+    return StageProfile("emb_lookup", 800.0, ResourceVector(0.20, 0.90))
+
+
+@pytest.fixture
+def small_kernel():
+    return KernelDesc("k_small", 200.0, ResourceVector(0.10, 0.05), num_warps=64, tag="FillNull")
+
+
+@pytest.fixture
+def big_kernel():
+    return KernelDesc(
+        "k_big",
+        600.0,
+        ResourceVector(0.80, 0.40),
+        num_warps=6912,
+        tag="Ngram",
+        launch_us=5.0,
+        warp_slots=6912,
+    )

@@ -1,0 +1,97 @@
+"""Tests for the §10 runtime-variability (drift + replanning) extension."""
+
+import pytest
+
+from repro.core.adaptation import AdaptiveReplanner, drift_graph_set
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=2048)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=2048)
+    return graphs, workload
+
+
+class TestDriftGraphSet:
+    def test_rejects_nonpositive_scale(self, setting):
+        graphs, _ = setting
+        with pytest.raises(ValueError):
+            drift_graph_set(graphs, 0.0)
+
+    def test_scales_list_lengths(self, setting):
+        graphs, _ = setting
+        drifted = drift_graph_set(graphs, 2.0)
+        for before, after in zip(graphs, drifted):
+            assert after.avg_list_length == pytest.approx(2.0 * before.avg_list_length)
+
+    def test_scales_costs(self, setting):
+        graphs, workload = setting
+        drifted = drift_graph_set(graphs, 3.0)
+        assert drifted.standalone_latency_us(workload.spec) > graphs.standalone_latency_us(
+            workload.spec
+        )
+
+    def test_identity_scale(self, setting):
+        graphs, workload = setting
+        same = drift_graph_set(graphs, 1.0)
+        assert same.standalone_latency_us(workload.spec) == pytest.approx(
+            graphs.standalone_latency_us(workload.spec)
+        )
+
+
+class TestAdaptiveReplanner:
+    def test_rejects_bad_threshold(self, setting):
+        graphs, workload = setting
+        with pytest.raises(ValueError):
+            AdaptiveReplanner(workload, graphs, drift_threshold=0.0)
+
+    def test_small_drift_keeps_plan(self, setting):
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.25)
+        event = replanner.observe(1.1)
+        assert not event.replanned
+        assert event.regeneration_seconds == 0.0
+
+    def test_large_drift_triggers_replanning(self, setting):
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.15)
+        event = replanner.observe(2.0)
+        assert event.replanned
+        assert event.regeneration_seconds > 0.0
+
+    def test_regeneration_is_cheap(self, setting):
+        """§10: regeneration is lightweight ('a few minutes' on hardware,
+        well under a second here)."""
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs)
+        event = replanner.observe(3.0)
+        assert event.replanned
+        assert event.regeneration_seconds < 30.0
+
+    def test_replanned_no_worse_than_stale(self, setting):
+        """Under heavy drift the regenerated plan beats the stale one."""
+        graphs, workload = setting
+        stale = AdaptiveReplanner(workload, graphs, drift_threshold=10.0)  # never replans
+        fresh = AdaptiveReplanner(workload, graphs, drift_threshold=0.1)
+        scale = 6.0
+        stale_event = stale.observe(scale)
+        fresh_event = fresh.observe(scale)
+        assert not stale_event.replanned
+        assert fresh_event.replanned
+        assert fresh_event.iteration_us <= stale_event.iteration_us * 1.02
+
+    def test_threshold_resets_after_replan(self, setting):
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.15)
+        assert replanner.observe(2.0).replanned
+        # 2.0 -> 2.1 is under 15% relative drift from the new baseline.
+        assert not replanner.observe(2.1).replanned
+
+    def test_event_log_accumulates(self, setting):
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs)
+        for scale in (1.0, 1.05, 2.0):
+            replanner.observe(scale)
+        assert len(replanner.events) == 3

@@ -1,0 +1,72 @@
+"""Property tests: analytic capacity estimates vs empirical measurement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import OverlappingCapacityEstimator
+from repro.gpusim import KernelDesc, ResourceVector, StageProfile
+
+utilization = st.builds(
+    ResourceVector,
+    sm=st.floats(min_value=0.0, max_value=0.95),
+    dram=st.floats(min_value=0.0, max_value=0.95),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    duration=st.floats(min_value=50.0, max_value=3000.0),
+    util=utilization,
+    probe_sm=st.floats(min_value=0.01, max_value=0.9),
+    probe_dram=st.floats(min_value=0.01, max_value=0.9),
+)
+def test_analytic_capacity_is_safe(duration, util, probe_sm, probe_dram):
+    """A kernel sized to the analytic capacity never extends the stage.
+
+    The estimator's promise (§5.1): total standalone latency up to C_op
+    co-runs for free. Empirically verified against the device simulator
+    for arbitrary stage profiles and probe demand mixes.
+    """
+    estimator = OverlappingCapacityEstimator()
+    stage = StageProfile("s", duration, util)
+    probe = ResourceVector(probe_sm, probe_dram)
+    capacity = estimator.estimate(stage, probe)
+    assert 0.0 <= capacity <= duration + 1e-9
+    if capacity <= 1e-6:
+        return
+    fits = probe.fits_within(stage.leftover())
+    kernel = KernelDesc("probe", capacity * 0.999, probe)
+    result = estimator.device.simulate_iteration([stage], assignments={0: [kernel]})
+    if fits:
+        # Fitting probes at capacity leave the stage untouched.
+        assert result.total_time_us == pytest.approx(duration, rel=1e-6)
+    else:
+        # Conservative regime: the estimate discounts for contention, so
+        # the measured extension stays within the discount's bound.
+        assert result.total_time_us <= duration * 2.0 + kernel.duration_us
+
+
+@settings(max_examples=20, deadline=None)
+@given(duration=st.floats(min_value=50.0, max_value=2000.0), util=utilization)
+def test_empirical_measure_bounded_by_duration(duration, util):
+    estimator = OverlappingCapacityEstimator()
+    stage = StageProfile("s", duration, util)
+    probe = KernelDesc("p", 100.0, ResourceVector(0.3, 0.3))
+    measured = estimator.measure(stage, probe)
+    assert 0.0 <= measured <= duration + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(duration=st.floats(min_value=100.0, max_value=2000.0), util=utilization)
+def test_analytic_and_empirical_agree_for_fitting_probes(duration, util):
+    """When the probe fits the leftover, both paths say 'the whole stage'."""
+    estimator = OverlappingCapacityEstimator()
+    stage = StageProfile("s", duration, util)
+    probe_demand = ResourceVector(
+        min(0.9, stage.leftover().sm * 0.5 + 1e-6),
+        min(0.9, stage.leftover().dram * 0.5 + 1e-6),
+    )
+    analytic = estimator.estimate(stage, probe_demand)
+    empirical = estimator.measure(stage, KernelDesc("p", 50.0, probe_demand))
+    assert analytic == pytest.approx(duration)
+    assert empirical == pytest.approx(duration, rel=0.02)

@@ -1,0 +1,67 @@
+"""Unit tests for inter-batch workload interleaving (§6.3)."""
+
+import pytest
+
+from repro.core.interleaving import InterbatchInterleaver, SteadyStateTimeline
+from repro.preprocessing.executor import DataPreparation
+
+
+def prep(total=300.0):
+    return DataPreparation(alloc_us=total / 3, h2d_copy_us=total / 3, dispatch_us=total / 3)
+
+
+class TestSteadyStateTimeline:
+    def test_interleaved_hides_prep(self):
+        t = SteadyStateTimeline(gpu_iteration_us=1000.0, data_prep_us=300.0, interleaved=True)
+        assert t.iteration_us == 1000.0
+        assert t.data_stall_us == 0.0
+        assert t.hidden_fraction == 1.0
+
+    def test_interleaved_prep_bound(self):
+        t = SteadyStateTimeline(gpu_iteration_us=1000.0, data_prep_us=1500.0, interleaved=True)
+        assert t.iteration_us == 1500.0
+        assert t.data_stall_us == 500.0
+        assert t.hidden_fraction == pytest.approx(1.0 - 500.0 / 1500.0)
+
+    def test_serial_always_pays(self):
+        t = SteadyStateTimeline(gpu_iteration_us=1000.0, data_prep_us=300.0, interleaved=False)
+        assert t.iteration_us == 1300.0
+        assert t.data_stall_us == 300.0
+        assert t.hidden_fraction == 0.0
+
+    def test_zero_prep(self):
+        t = SteadyStateTimeline(gpu_iteration_us=100.0, data_prep_us=0.0, interleaved=False)
+        assert t.hidden_fraction == 1.0
+
+
+class TestInterbatchInterleaver:
+    def test_enabled_vs_disabled(self):
+        on = InterbatchInterleaver(enabled=True).steady_state(1000.0, prep(400.0))
+        off = InterbatchInterleaver(enabled=False).steady_state(1000.0, prep(400.0))
+        assert on.iteration_us < off.iteration_us
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            InterbatchInterleaver().steady_state(-1.0, prep())
+
+    def test_pipeline_timeline_staggering(self):
+        rows = InterbatchInterleaver(enabled=True).pipeline_timeline(3, 1000.0, prep())
+        assert len(rows) == 3
+        first = rows[0]
+        # Fig. 8: training batch i co-runs batch i+1's kernels while the
+        # CPU prepares batch i+2.
+        assert first["preprocessing_batch"] == first["training_batch"] + 1
+        assert first["preparing_batch"] == first["training_batch"] + 2
+
+    def test_pipeline_timeline_serial_alignment(self):
+        rows = InterbatchInterleaver(enabled=False).pipeline_timeline(2, 1000.0, prep())
+        assert rows[0]["preprocessing_batch"] == rows[0]["training_batch"]
+
+    def test_pipeline_rejects_zero_batches(self):
+        with pytest.raises(ValueError):
+            InterbatchInterleaver().pipeline_timeline(0, 100.0, prep())
+
+    def test_timeline_timestamps_monotone(self):
+        rows = InterbatchInterleaver().pipeline_timeline(4, 500.0, prep())
+        starts = [r["t_start_us"] for r in rows]
+        assert starts == sorted(starts)

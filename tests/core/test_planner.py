@@ -1,0 +1,74 @@
+"""Unit tests for the end-to-end RAP planner and its ablations."""
+
+import pytest
+
+from repro.core.planner import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=1024)
+    model = model_for_plan(graphs, schema)
+    workload = TrainingWorkload(model, num_gpus=2, local_batch=1024)
+    return graphs, workload
+
+
+class TestRapPlanner:
+    def test_rejects_bad_strategy(self, setting):
+        _, workload = setting
+        with pytest.raises(ValueError):
+            RapPlanner(workload, mapping_strategy="bogus")
+
+    def test_plan_produces_per_gpu_structures(self, setting):
+        graphs, workload = setting
+        plan = RapPlanner(workload).plan(graphs)
+        assert len(plan.assignments_per_gpu) == 2
+        assert len(plan.trailing_per_gpu) == 2
+        assert len(plan.data_prep_per_gpu) == 2
+
+    def test_light_plan_fully_hidden(self, setting):
+        """Plan 1 fits in leftover capacity: training runs at ideal speed."""
+        graphs, workload = setting
+        report = RapPlanner(workload).plan_and_evaluate(graphs)
+        assert report.training_slowdown == pytest.approx(1.0, abs=0.02)
+        assert report.exposed_preprocessing_us == pytest.approx(0.0, abs=1.0)
+
+    def test_rap_beats_ablations(self, setting):
+        graphs, workload = setting
+        full = RapPlanner(workload).plan_and_evaluate(graphs)
+        no_fusion = RapPlanner(workload, fusion_enabled=False).plan_and_evaluate(graphs)
+        dp_mapping = RapPlanner(workload, mapping_strategy="data_parallel").plan_and_evaluate(graphs)
+        assert full.throughput >= no_fusion.throughput - 1e-6
+        assert full.throughput >= dp_mapping.throughput - 1e-6
+
+    def test_dp_mapping_pays_communication(self, setting):
+        graphs, workload = setting
+        plan = RapPlanner(workload, mapping_strategy="data_parallel").plan(graphs)
+        assert plan.input_comm_bytes > 0
+
+    def test_rap_mapping_zero_comm_on_balanced_plan(self, setting):
+        graphs, workload = setting
+        plan = RapPlanner(workload).plan(graphs)
+        assert plan.input_comm_bytes == 0.0
+
+    def test_interleaving_ablation(self, setting):
+        graphs, workload = setting
+        on = RapPlanner(workload, interleaving_enabled=True).plan_and_evaluate(graphs)
+        off = RapPlanner(workload, interleaving_enabled=False).plan_and_evaluate(graphs)
+        assert on.iteration_us <= off.iteration_us
+
+    def test_report_throughput_consistent(self, setting):
+        graphs, workload = setting
+        report = RapPlanner(workload).plan_and_evaluate(graphs)
+        assert report.throughput == pytest.approx(
+            workload.global_batch / (report.iteration_us * 1e-6)
+        )
+
+    def test_kernel_counts_reported(self, setting):
+        graphs, workload = setting
+        plan = RapPlanner(workload).plan(graphs)
+        counts = plan.num_kernels_per_gpu()
+        assert len(counts) == 2
+        assert all(c > 0 for c in counts)

@@ -1,0 +1,76 @@
+"""Round-trip tests for plan serialization."""
+
+import json
+
+import pytest
+
+from repro.core import RapPlanner, generate_plan_module, plan_from_json, plan_to_json
+from repro.core.serialization import FORMAT_VERSION
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=1024)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=1024)
+    planner = RapPlanner(workload)
+    return graphs, workload, planner, planner.plan(graphs)
+
+
+class TestRoundTrip:
+    def test_json_is_valid(self, setting):
+        _, _, _, plan = setting
+        data = json.loads(plan_to_json(plan))
+        assert data["format_version"] == FORMAT_VERSION
+        assert data["workload"]["num_gpus"] == 2
+
+    def test_simulates_identically(self, setting):
+        graphs, workload, planner, plan = setting
+        restored = plan_from_json(plan_to_json(plan), workload, graphs)
+        original = planner.evaluate(plan)
+        reloaded = planner.evaluate(restored)
+        assert reloaded.iteration_us == pytest.approx(original.iteration_us)
+        assert reloaded.exposed_preprocessing_us == pytest.approx(
+            original.exposed_preprocessing_us
+        )
+
+    def test_mapping_preserved(self, setting):
+        graphs, workload, _, plan = setting
+        restored = plan_from_json(plan_to_json(plan), workload, graphs)
+        assert restored.mapping.strategy == plan.mapping.strategy
+        assert restored.mapping.placements == plan.mapping.placements
+        assert restored.input_comm_bytes == plan.input_comm_bytes
+
+    def test_kernel_fields_preserved(self, setting):
+        graphs, workload, _, plan = setting
+        restored = plan_from_json(plan_to_json(plan), workload, graphs)
+        orig = [k for a in plan.assignments_per_gpu for ks in a.values() for k in ks]
+        back = [k for a in restored.assignments_per_gpu for ks in a.values() for k in ks]
+        assert len(orig) == len(back)
+        for a, b in zip(orig, back):
+            assert a.name == b.name
+            assert a.duration_us == pytest.approx(b.duration_us)
+            assert a.demand.sm == pytest.approx(b.demand.sm)
+            assert a.tag == b.tag
+
+    def test_codegen_still_works(self, setting):
+        graphs, workload, _, plan = setting
+        restored = plan_from_json(plan_to_json(plan), workload, graphs)
+        source = generate_plan_module(restored)
+        assert "SCHEDULE" in source
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self, setting):
+        graphs, workload, _, plan = setting
+        data = json.loads(plan_to_json(plan))
+        data["format_version"] = 999
+        with pytest.raises(ValueError):
+            plan_from_json(json.dumps(data), workload, graphs)
+
+    def test_rejects_shape_mismatch(self, setting):
+        graphs, workload, _, plan = setting
+        other = TrainingWorkload(workload.config, num_gpus=4, local_batch=1024)
+        with pytest.raises(ValueError):
+            plan_from_json(plan_to_json(plan), other, graphs)

@@ -1,0 +1,252 @@
+"""Numerical correctness tests for the trainable DLRM (gradient checks etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.model import DLRMConfig, EmbeddingTableConfig, MlpArch
+from repro.dlrm.numerics import (
+    EmbeddingBag,
+    Interaction,
+    Mlp,
+    MlpLayer,
+    NumpyDLRM,
+    bce_loss,
+)
+from repro.preprocessing.data import Batch, DenseColumn, SparseColumn
+
+
+def tiny_config(num_tables=2, dim=4):
+    return DLRMConfig(
+        name="tiny",
+        dense_arch=MlpArch(input_dim=3, layers=(8, 4)),
+        top_arch_layers=(8, 4),
+        tables=tuple(
+            EmbeddingTableConfig(name=f"t{i}", hash_size=50, dim=dim) for i in range(num_tables)
+        ),
+        embedding_dim=dim,
+    )
+
+
+def tiny_batch(rows=6, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = {f"d{i}": DenseColumn(f"d{i}", rng.random(rows)) for i in range(3)}
+    sparse = {}
+    for j in range(2):
+        lengths = rng.integers(1, 4, rows)
+        offsets = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = rng.integers(0, 50, int(offsets[-1]))
+        sparse[f"s{j}"] = SparseColumn(f"s{j}", offsets, values, 50)
+    return Batch(dense=dense, sparse=sparse)
+
+
+def make_model(seed=0):
+    return NumpyDLRM(
+        tiny_config(),
+        dense_inputs=["d0", "d1", "d2"],
+        sparse_inputs={"t0": "s0", "t1": "s1"},
+        seed=seed,
+    )
+
+
+class TestBceLoss:
+    def test_perfect_confidence_low_loss(self):
+        loss, _ = bce_loss(np.array([10.0, -10.0]), np.array([1.0, 0.0]))
+        assert loss < 1e-3
+
+    def test_gradient_sign(self):
+        _, grad = bce_loss(np.array([0.0]), np.array([1.0]))
+        assert grad[0] < 0  # push logit up for a positive label
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=5)
+        labels = (rng.random(5) > 0.5).astype(float)
+        _, grad = bce_loss(logits, labels)
+        eps = 1e-6
+        for i in range(5):
+            bumped = logits.copy()
+            bumped[i] += eps
+            up, _ = bce_loss(bumped, labels)
+            bumped[i] -= 2 * eps
+            down, _ = bce_loss(bumped, labels)
+            assert grad[i] == pytest.approx((up - down) / (2 * eps), rel=1e-4, abs=1e-8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bce_loss(np.zeros(3), np.zeros(2))
+
+
+class TestMlp:
+    def test_forward_shapes(self):
+        rng = np.random.default_rng(0)
+        mlp = Mlp.init(4, (8, 2), rng)
+        out = mlp.forward(rng.random((5, 4)))
+        assert out.shape == (5, 2)
+
+    def test_backward_before_forward_raises(self):
+        rng = np.random.default_rng(0)
+        layer = MlpLayer.init(3, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)), 0.1)
+
+    def test_gradient_check_single_layer(self):
+        """Weight gradient of a linear layer matches finite differences."""
+        rng = np.random.default_rng(2)
+        layer = MlpLayer.init(3, 2, rng, relu=False)
+        x = rng.random((4, 3))
+        target = rng.random((4, 2))
+        bias_before = layer.bias.copy()
+
+        def loss_at(weight):
+            z = x @ weight + bias_before
+            return 0.5 * np.sum((z - target) ** 2)
+
+        z = layer.forward(x)
+        grad_out = z - target
+        w_before = layer.weight.copy()
+        layer.backward(grad_out, lr=1.0)
+        analytic_grad = w_before - layer.weight  # lr=1 -> update == gradient
+        eps = 1e-6
+        for idx in [(0, 0), (1, 1), (2, 0)]:
+            w = w_before.copy()
+            w[idx] += eps
+            up = loss_at(w)
+            w[idx] -= 2 * eps
+            down = loss_at(w)
+            fd = (up - down) / (2 * eps)
+            assert analytic_grad[idx] == pytest.approx(fd, rel=1e-4)
+
+    def test_sgd_reduces_regression_loss(self):
+        rng = np.random.default_rng(3)
+        mlp = Mlp.init(4, (16, 1), rng, final_relu=False)
+        x = rng.random((64, 4))
+        y = (x @ np.array([1.0, -2.0, 0.5, 3.0])).reshape(-1, 1)
+        losses = []
+        for _ in range(200):
+            pred = mlp.forward(x)
+            losses.append(float(np.mean((pred - y) ** 2)))
+            mlp.backward((pred - y) / len(x), lr=0.1)
+        assert losses[-1] < 0.2 * losses[0]
+
+
+class TestEmbeddingBag:
+    def test_pooled_lookup(self):
+        rng = np.random.default_rng(0)
+        bag = EmbeddingBag(10, 3, rng)
+        col = SparseColumn("s", [0, 2, 3], [1, 4, 7], 10)
+        out = bag.forward(col)
+        np.testing.assert_allclose(out[0], bag.table[1] + bag.table[4])
+        np.testing.assert_allclose(out[1], bag.table[7])
+
+    def test_out_of_range_ids_rejected(self):
+        bag = EmbeddingBag(10, 3, np.random.default_rng(0))
+        col = SparseColumn("s", [0, 1], [99], 100)
+        with pytest.raises(IndexError):
+            bag.forward(col)
+
+    def test_sparse_update_touches_only_looked_up_rows(self):
+        rng = np.random.default_rng(1)
+        bag = EmbeddingBag(10, 3, rng)
+        before = bag.table.copy()
+        col = SparseColumn("s", [0, 2], [3, 5], 10)
+        bag.forward(col)
+        bag.backward(np.ones((1, 3)), lr=0.1)
+        changed = {i for i in range(10) if not np.allclose(bag.table[i], before[i])}
+        assert changed == {3, 5}
+
+    def test_empty_rows_ok(self):
+        bag = EmbeddingBag(10, 3, np.random.default_rng(2))
+        col = SparseColumn("s", [0, 0, 1], [2], 10)
+        out = bag.forward(col)
+        np.testing.assert_allclose(out[0], 0.0)
+
+
+class TestInteraction:
+    def test_output_width(self):
+        inter = Interaction()
+        rng = np.random.default_rng(0)
+        dense = rng.random((5, 4))
+        pooled = [rng.random((5, 4)) for _ in range(3)]
+        out = inter.forward(dense, pooled)
+        f = 4  # dense + 3 tables
+        assert out.shape == (5, 4 + f * (f - 1) // 2)
+
+    def test_gradient_check(self):
+        """Interaction backward matches finite differences on the stack."""
+        rng = np.random.default_rng(4)
+        dense = rng.random((2, 3))
+        pooled = [rng.random((2, 3))]
+        inter = Interaction()
+        out = inter.forward(dense, pooled)
+        grad_out = rng.random(out.shape)
+        grad_dense, grad_pooled = inter.backward(grad_out, dense_dim=3)
+        eps = 1e-6
+
+        def objective(d, p):
+            return float(np.sum(Interaction().forward(d, [p]) * grad_out))
+
+        for idx in [(0, 0), (1, 2)]:
+            d = dense.copy()
+            d[idx] += eps
+            up = objective(d, pooled[0])
+            d[idx] -= 2 * eps
+            down = objective(d, pooled[0])
+            assert grad_dense[idx] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+            p = pooled[0].copy()
+            p[idx] += eps
+            up = objective(dense, p)
+            p[idx] -= 2 * eps
+            down = objective(dense, p)
+            assert grad_pooled[0][idx] == pytest.approx((up - down) / (2 * eps), rel=1e-4)
+
+
+class TestNumpyDLRM:
+    def test_validates_input_counts(self):
+        with pytest.raises(ValueError):
+            NumpyDLRM(tiny_config(), dense_inputs=["d0"], sparse_inputs={"t0": "s0", "t1": "s1"})
+        with pytest.raises(ValueError):
+            NumpyDLRM(tiny_config(), dense_inputs=["d0", "d1", "d2"], sparse_inputs={"t0": "s0"})
+
+    def test_forward_shape(self):
+        model = make_model()
+        logits = model.forward(tiny_batch())
+        assert logits.shape == (6,)
+
+    def test_deterministic_given_seed(self):
+        a = make_model(seed=7).forward(tiny_batch(seed=3))
+        b = make_model(seed=7).forward(tiny_batch(seed=3))
+        np.testing.assert_allclose(a, b)
+
+    def test_training_reduces_loss_on_learnable_signal(self):
+        """The model learns a synthetic CTR rule from its own inputs."""
+        rng = np.random.default_rng(5)
+        model = make_model(seed=1)
+        batches = []
+        for i in range(8):
+            b = tiny_batch(rows=64, seed=100 + i)
+            # Label depends on a dense feature and a sparse id's parity.
+            first_ids = np.array([b.sparse["s0"].row(r)[0] for r in range(64)])
+            y = ((b.dense["d0"].values > 0.5) & (first_ids % 2 == 0)).astype(float)
+            batches.append((b, y))
+        first_pass = [model.train_step(b, y, lr=0.3) for b, y in batches]
+        for _ in range(30):
+            for b, y in batches:
+                model.train_step(b, y, lr=0.3)
+        final = [bce_loss(model.forward(b), y)[0] for b, y in batches]
+        assert np.mean(final) < 0.55 * np.mean(first_pass)
+
+    def test_predict_proba_in_unit_interval(self):
+        p = make_model().predict_proba(tiny_batch())
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_ids_beyond_capped_table_are_folded(self):
+        config = tiny_config()
+        model = NumpyDLRM(
+            config,
+            dense_inputs=["d0", "d1", "d2"],
+            sparse_inputs={"t0": "s0", "t1": "s1"},
+            table_size_cap=8,  # much smaller than the column's hash size
+        )
+        logits = model.forward(tiny_batch())
+        assert np.isfinite(logits).all()

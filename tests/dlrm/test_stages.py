@@ -1,0 +1,92 @@
+"""Unit tests for the training-stage lowering."""
+
+import pytest
+
+from repro.dlrm.embedding import place_tables
+from repro.dlrm.model import kaggle_model, terabyte_model
+from repro.dlrm.stages import DEFAULT_CALIBRATION, build_iteration_stages
+
+EXPECTED_STAGES = [
+    "emb_lookup_fwd",
+    "all_to_all_fwd",
+    "mlp_bottom_fwd",
+    "interaction_fwd",
+    "mlp_top_fwd",
+    "mlp_top_bwd",
+    "interaction_bwd",
+    "mlp_bottom_bwd",
+    "all_to_all_bwd",
+    "emb_update",
+    "mlp_allreduce",
+    "optimizer_step",
+]
+
+
+def stages_for(model, num_gpus=2, batch=2048, gpu_id=0):
+    placement = place_tables(model, num_gpus)
+    return build_iteration_stages(model, placement, batch, gpu_id)
+
+
+class TestBuildIterationStages:
+    def test_stage_order(self):
+        names = [s.name for s in stages_for(kaggle_model())]
+        assert names == EXPECTED_STAGES
+
+    def test_rejects_bad_batch(self):
+        m = kaggle_model()
+        placement = place_tables(m, 2)
+        with pytest.raises(ValueError):
+            build_iteration_stages(m, placement, 0, 0)
+
+    def test_rejects_bad_gpu_id(self):
+        m = kaggle_model()
+        placement = place_tables(m, 2)
+        with pytest.raises(IndexError):
+            build_iteration_stages(m, placement, 128, 5)
+
+    def test_backward_costs_double_forward(self):
+        stages = {s.name: s for s in stages_for(kaggle_model())}
+        assert stages["mlp_top_bwd"].duration_us == pytest.approx(
+            DEFAULT_CALIBRATION.backward_multiplier * stages["mlp_top_fwd"].duration_us
+        )
+
+    def test_mlp_stages_compute_bound_profiles(self):
+        stages = {s.name: s for s in stages_for(kaggle_model())}
+        mlp = stages["mlp_top_fwd"].utilization
+        emb = stages["emb_lookup_fwd"].utilization
+        # The Fig.-1a swing: MLP is SM-heavy, embedding is DRAM-heavy.
+        assert mlp.sm > 0.8 and mlp.dram < 0.5
+        assert emb.dram > 0.8 and emb.sm < 0.5
+
+    def test_durations_scale_with_batch(self):
+        small = stages_for(kaggle_model(), batch=1024)
+        big = stages_for(kaggle_model(), batch=4096)
+        small_mlp = next(s for s in small if s.name == "mlp_top_fwd")
+        big_mlp = next(s for s in big if s.name == "mlp_top_fwd")
+        assert big_mlp.duration_us == pytest.approx(4 * small_mlp.duration_us, rel=0.01)
+
+    def test_single_gpu_has_no_comm(self):
+        stages = {s.name: s for s in stages_for(kaggle_model(), num_gpus=1, gpu_id=0)}
+        assert stages["all_to_all_fwd"].duration_us == 0.0
+        assert stages["mlp_allreduce"].duration_us == 0.0
+
+    def test_embedding_stage_tracks_local_shard(self):
+        """A GPU holding more lookup traffic has a longer embedding stage."""
+        m = terabyte_model()
+        placement = place_tables(m, 4)
+        loads = placement.lookup_bytes_per_gpu(m, 4 * 2048)
+        durations = [
+            next(
+                s.duration_us
+                for s in build_iteration_stages(m, placement, 2048, g)
+                if s.name == "emb_lookup_fwd"
+            )
+            for g in range(4)
+        ]
+        ranked_load = sorted(range(4), key=lambda g: loads[g])
+        ranked_time = sorted(range(4), key=lambda g: durations[g])
+        assert ranked_load == ranked_time
+
+    def test_all_durations_nonnegative(self):
+        for s in stages_for(terabyte_model(), num_gpus=8, batch=4096):
+            assert s.duration_us >= 0.0

@@ -1,0 +1,64 @@
+"""Unit tests for the TrainingWorkload object."""
+
+import pytest
+
+from repro.dlrm.embedding import place_tables
+from repro.dlrm.model import kaggle_model
+from repro.dlrm.training import TrainingWorkload
+from repro.gpusim.device import STREAM_POLICY
+from repro.gpusim.kernel import KernelDesc
+from repro.gpusim.resources import ResourceVector
+
+
+@pytest.fixture
+def workload():
+    return TrainingWorkload(kaggle_model(), num_gpus=2, local_batch=1024)
+
+
+class TestTrainingWorkload:
+    def test_placement_auto_built(self, workload):
+        assert workload.placement is not None
+        assert workload.placement.num_gpus == 2
+
+    def test_placement_mismatch_rejected(self):
+        m = kaggle_model()
+        with pytest.raises(ValueError):
+            TrainingWorkload(m, num_gpus=4, local_batch=64, placement=place_tables(m, 2))
+
+    def test_stage_cache(self, workload):
+        assert workload.stages_for_gpu(0) is workload.stages_for_gpu(0)
+
+    def test_global_batch(self, workload):
+        assert workload.global_batch == 2048
+
+    def test_ideal_iteration_positive(self, workload):
+        assert workload.ideal_iteration_us() > 0
+
+    def test_ideal_throughput(self, workload):
+        it = workload.ideal_iteration_us()
+        assert workload.ideal_throughput() == pytest.approx(2048 / (it * 1e-6))
+
+    def test_simulate_empty_matches_ideal(self, workload):
+        result = workload.simulate()
+        assert result.iteration_time_us == pytest.approx(workload.ideal_iteration_us())
+
+    def test_simulate_with_kernels_extends(self, workload):
+        big = KernelDesc("big", 50_000.0, ResourceVector(0.9, 0.9))
+        result = workload.simulate(assignments_per_gpu=[{0: [big]}, {}])
+        assert result.iteration_time_us > workload.ideal_iteration_us()
+
+    def test_policy_forwarded(self, workload):
+        k = KernelDesc("k", 500.0, ResourceVector(0.3, 0.2))
+        rap = workload.simulate(assignments_per_gpu=[{0: [k]}, {}])
+        stream = workload.simulate(assignments_per_gpu=[{0: [k]}, {}], policy=STREAM_POLICY)
+        assert stream.iteration_time_us >= rap.iteration_time_us
+
+    def test_throughput_from_iteration(self, workload):
+        assert workload.throughput_from_iteration(1e6) == pytest.approx(2048.0)
+        assert workload.throughput_from_iteration(0.0) == 0.0
+
+    def test_more_gpus_higher_ideal_throughput(self):
+        m = kaggle_model()
+        w2 = TrainingWorkload(m, num_gpus=2, local_batch=1024)
+        w4 = TrainingWorkload(m, num_gpus=4, local_batch=1024)
+        assert w4.ideal_throughput() > w2.ideal_throughput()

@@ -1,0 +1,204 @@
+"""Shape tests for every experiment harness.
+
+These assert the *qualitative* claims of each paper table/figure on
+reduced sweeps -- who wins, by roughly what factor, where crossovers fall
+-- mirroring what EXPERIMENTS.md records for the full runs.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig5, fig9, fig10, fig11, fig12, table5
+from repro.experiments.reporting import format_kv, format_table, geomean
+from repro.experiments.tables import run_table1, run_table2, run_table3
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 1, "b": 2.0})
+        assert "alpha" in out
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+
+class TestTables123:
+    def test_table1_lists_all_operators(self):
+        rows = run_table1()["rows"]
+        assert len(rows) == 11
+        assert {r["type"] for r in rows} == {"DN", "SN", "FG", "Other"}
+
+    def test_table2_architectures(self):
+        rows = run_table2()["rows"]
+        kaggle = next(r for r in rows if "Kaggle" in r["dataset"])
+        assert kaggle["dense_arch"] == "512-256"
+        assert kaggle["top_arch"] == "1024-1024-512"
+        terabyte = next(r for r in rows if "Terabyte" in r["dataset"])
+        assert terabyte["top_arch"] == "1024-1024-512-256"
+
+    def test_table3_matches_paper(self):
+        rows = run_table3()["rows"]
+        for r in rows:
+            assert r["total_ops"] == r["paper_total_ops"]
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig1.run(num_gpus=2, local_batch=2048)
+
+    def test_fig1a_utilization_swings(self, results):
+        """Fig. 1a: SM and DRAM utilization alternate across stages."""
+        sm = results["fig1a"]["sm_utilization"]
+        dram = results["fig1a"]["dram_utilization"]
+        assert max(sm) > 0.8 and min(sm) < 0.3
+        assert max(dram) > 0.8 and min(dram) < 0.4
+
+    def test_fig1b_demand_grows_with_width(self, results):
+        rows = results["fig1b"]
+        sms = [r["sm_utilization"] for r in rows]
+        assert sms == sorted(sms)
+        assert rows[-1]["sm_utilization"] > 0.9
+
+    def test_fig1c_latency_grows_with_width(self, results):
+        rows = results["fig1c"]
+        lats = [r["mlp_fwd_us"] for r in rows]
+        assert lats == sorted(lats)
+        assert rows[-1]["slowdown"] > 1.3
+
+    def test_render(self, results):
+        out = fig1.render(results)
+        assert "Figure 1b" in out and "Figure 1c" in out
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig5.run(num_gpus=2, local_batch=2048)
+
+    def test_consistent_trend_across_ops(self, results):
+        """Fig. 5b: standalone latency orders overlapping latency across
+        op types as one consistent trend."""
+        assert results["latency_rank_correlation"] > 0.7
+
+    def test_warp_misalignment(self, results):
+        """Fig. 5c: at comparable warp counts, different ops have very
+        different overlapping latencies."""
+        rows = results["rows"]
+        by_op = {}
+        for r in rows:
+            by_op.setdefault(r["op"], []).append(r)
+        ngram = {r["rows"]: r["standalone_us"] for r in by_op["Ngram"]}
+        logit = {r["rows"]: r["standalone_us"] for r in by_op["Logit"]}
+        big = 1_048_576
+        assert ngram[big] > 2 * logit[big]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig9.run(gpu_counts=(2, 4), plan_ids=(1,), batch_sizes=(4096,))
+
+    def test_rap_wins_everywhere(self, results):
+        for r in results["rows"]:
+            assert r["rap"] > r["torcharrow"]
+            assert r["rap"] > r["cuda_stream"]
+            assert r["rap"] > r["mps"]
+
+    def test_rap_scales_with_gpus(self, results):
+        rows = {r["gpus"]: r for r in results["rows"]}
+        assert rows[4]["rap"] > 1.7 * rows[2]["rap"]
+
+    def test_torcharrow_scales_poorly(self, results):
+        rows = {r["gpus"]: r for r in results["rows"]}
+        assert rows[4]["torcharrow"] < 1.7 * rows[2]["torcharrow"]
+
+    def test_summary_speedups(self, results):
+        s = results["summary"]
+        assert s["rap_over_torcharrow"] > 3.0
+        assert s["rap_over_mps"] > 1.1
+        assert 0.9 <= s["rap_vs_ideal"] <= 1.001
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig10.run(plan_ids=(2,), num_gpus=4, batch=4096)
+
+    def test_breakdown_ordering(self, results):
+        for r in results["rows"]:
+            assert r["sequential"] < r["mps"] < r["rap"] <= r["ideal"] * 1.001
+            assert r["rap_wo_mapping"] <= r["rap"] * 1.001
+            assert r["rap_wo_fusion"] <= r["rap"] * 1.001
+
+    def test_ablations_beat_mps(self, results):
+        s = results["summary"]
+        assert s["rap_wo_mapping_over_mps"] > 1.0
+        assert s["rap_wo_fusion_over_mps"] > 1.0
+
+    def test_rap_near_ideal(self, results):
+        assert results["summary"]["rap_vs_ideal"] > 0.9
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig11.run(workload_sizes=tuple(range(0, 81, 8)), num_gpus=2, local_batch=4096)
+
+    def test_turning_point_ordering(self, results):
+        """Baseline turns earliest, RAP latest (Fig. 11's core claim)."""
+        tp = results["turning_points"]
+        base = tp["baseline"] if tp["baseline"] is not None else 10**9
+        fusion = tp["fusion"] if tp["fusion"] is not None else 10**9
+        rap = tp["rap"] if tp["rap"] is not None else 10**9
+        assert base <= fusion <= rap
+        assert base < rap
+
+    def test_latency_monotone_per_setting(self, results):
+        for setting in ("baseline", "fusion", "rap"):
+            lats = [r["latency_us"] for r in results["rows"] if r["setting"] == setting]
+            for a, b in zip(lats, lats[1:]):
+                assert b >= a - 1.0
+
+    def test_table4_rap_highest_utilization(self, results):
+        """Table 4: RAP keeps the GPU busier at its turning point."""
+        t4 = results["table4"]
+        assert t4["rap"]["gpu_utilization"] > t4["baseline"]["gpu_utilization"]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig12.run(num_gpus=4, local_batch=4096)
+
+    def test_mapping_ordering(self, results):
+        s = results["summary"]
+        assert s["dp_over_rap"] > 1.2
+        assert s["dl_over_rap"] > 1.2
+
+    def test_dp_pays_comm_dl_does_not(self, results):
+        rows = {r["mapping"]: r for r in results["rows"]}
+        assert rows["data_parallel"]["exposed_comm_us"] > 0
+        assert rows["data_locality"]["exposed_comm_us"] == 0
+
+
+class TestTable5:
+    def test_accuracy_band(self):
+        results = table5.run(num_samples=1500, seed=3)
+        for family, acc in results["accuracy"].items():
+            assert acc >= 0.84, f"{family}: {acc:.3f}"
+
+    def test_render_mentions_paper(self):
+        results = table5.run(num_samples=800, seed=4)
+        out = table5.render(results)
+        assert "paper acc" in out

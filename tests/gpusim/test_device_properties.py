@@ -1,0 +1,125 @@
+"""Deep property tests for the device simulator over random schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import (
+    CoRunPolicy,
+    GpuDevice,
+    KernelDesc,
+    MPS_POLICY,
+    RAP_POLICY,
+    ResourceVector,
+    STREAM_POLICY,
+    StageProfile,
+)
+
+stage_strategy = st.builds(
+    StageProfile,
+    name=st.sampled_from(["mlp", "emb", "comm", "opt"]),
+    duration_us=st.floats(min_value=10.0, max_value=3000.0),
+    utilization=st.builds(
+        ResourceVector,
+        sm=st.floats(min_value=0.0, max_value=1.0),
+        dram=st.floats(min_value=0.0, max_value=1.0),
+    ),
+)
+
+kernel_strategy = st.builds(
+    KernelDesc,
+    name=st.sampled_from(["k1", "k2", "k3"]),
+    duration_us=st.floats(min_value=1.0, max_value=800.0),
+    demand=st.builds(
+        ResourceVector,
+        sm=st.floats(min_value=0.0, max_value=1.0),
+        dram=st.floats(min_value=0.0, max_value=1.0),
+    ),
+    num_warps=st.integers(min_value=1, max_value=20_000),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stages=st.lists(stage_strategy, min_size=1, max_size=6),
+    kernels=st.lists(kernel_strategy, min_size=0, max_size=6),
+    data=st.data(),
+)
+def test_random_schedules_satisfy_invariants(stages, kernels, data):
+    """Invariant bundle over arbitrary stage pipelines and assignments."""
+    device = GpuDevice()
+    assignments = {}
+    for k in kernels:
+        idx = data.draw(st.integers(min_value=0, max_value=len(stages) - 1))
+        assignments.setdefault(idx, []).append(k)
+    result = device.simulate_iteration(stages, assignments)
+
+    standalone = sum(s.duration_us for s in stages)
+    # 1. Training is never faster than standalone.
+    assert result.training_time_us >= standalone - 1e-6
+    # 2. Total time decomposes into training + exposed.
+    assert result.total_time_us == pytest.approx(
+        result.training_time_us + result.exposed_preprocessing_us
+    )
+    # 3. Every stage and kernel completes exactly once.
+    assert len(result.stage_spans) == len(stages)
+    assert len(result.kernel_spans) == len(kernels)
+    # 4. Spans are non-negative and inside the iteration.
+    for span in result.stage_spans + result.kernel_spans:
+        assert span.t_start >= -1e-9
+        assert span.t_end <= result.total_time_us + 1e-6
+        assert span.wall_time >= -1e-9
+    # 5. Stage order is preserved.
+    starts = [s.t_start for s in result.stage_spans]
+    assert starts == sorted(starts)
+    # 6. The trace tiles the whole iteration without overlap.
+    assert result.trace.t_end == pytest.approx(result.total_time_us)
+    for a, b in zip(result.trace.segments, result.trace.segments[1:]):
+        assert b.t0 >= a.t1 - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stages=st.lists(stage_strategy, min_size=1, max_size=4),
+    kernels=st.lists(kernel_strategy, min_size=1, max_size=4),
+)
+def test_policy_ordering_holds_on_random_workloads(stages, kernels):
+    """RAP <= MPS <= STREAM total time on any workload (policy penalties
+    are strictly ordered)."""
+    device = GpuDevice()
+    times = {}
+    for name, policy in (("rap", RAP_POLICY), ("mps", MPS_POLICY), ("stream", STREAM_POLICY)):
+        result = device.simulate_iteration(stages, {0: list(kernels)}, policy=policy)
+        times[name] = result.total_time_us
+    assert times["rap"] <= times["mps"] + 1e-6
+    assert times["mps"] <= times["stream"] + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stage=stage_strategy,
+    kernel=kernel_strategy,
+    extra=st.floats(min_value=1.0, max_value=500.0),
+)
+def test_longer_kernels_never_finish_earlier(stage, kernel, extra):
+    """Monotonicity: growing a kernel's duration never shrinks the iteration."""
+    device = GpuDevice()
+    short = device.simulate_iteration([stage], {0: [kernel]})
+    longer = device.simulate_iteration([stage], {0: [kernel.with_duration(kernel.duration_us + extra)]})
+    assert longer.total_time_us >= short.total_time_us - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stages=st.lists(stage_strategy, min_size=1, max_size=4),
+    kernels=st.lists(kernel_strategy, min_size=1, max_size=5),
+)
+def test_trailing_equals_assignment_to_end(stages, kernels):
+    """Kernels assigned nowhere behave like trailing kernels."""
+    device = GpuDevice()
+    as_trailing = device.simulate_iteration(stages, {}, trailing_kernels=kernels)
+    standalone = sum(s.duration_us for s in stages)
+    assert as_trailing.training_time_us == pytest.approx(standalone)
+    assert as_trailing.exposed_preprocessing_us == pytest.approx(
+        sum(k.duration_us for k in kernels)
+    )

@@ -1,0 +1,81 @@
+"""Tests for trace export (Chrome trace JSON and ASCII Gantt)."""
+
+import json
+
+import pytest
+
+from repro.gpusim import (
+    GpuDevice,
+    KernelDesc,
+    MultiGpuCluster,
+    ResourceVector,
+    StageProfile,
+    render_gantt,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def result(device, mlp_stage, emb_stage, small_kernel):
+    return device.simulate_iteration([mlp_stage, emb_stage], {0: [small_kernel]})
+
+
+class TestChromeTrace:
+    def test_valid_json(self, result):
+        data = json.loads(to_chrome_trace(result))
+        assert "traceEvents" in data
+
+    def test_contains_stage_and_kernel_events(self, result):
+        data = json.loads(to_chrome_trace(result))
+        names = {e["name"] for e in data["traceEvents"] if e.get("ph") == "X"}
+        assert "mlp_fwd" in names
+        assert "k_small" in names
+
+    def test_durations_match_simulation(self, result):
+        data = json.loads(to_chrome_trace(result))
+        events = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+        total_end = max(e["ts"] + e["dur"] for e in events)
+        assert total_end == pytest.approx(result.total_time_us)
+
+    def test_cluster_trace_one_pid_per_gpu(self):
+        cluster = MultiGpuCluster(3)
+        stages = [StageProfile("s", 100.0, ResourceVector(0.5, 0.5))]
+        res = cluster.simulate_iteration([stages] * 3)
+        data = json.loads(to_chrome_trace(res))
+        pids = {e["pid"] for e in data["traceEvents"]}
+        assert pids == {0, 1, 2}
+
+    def test_threads_labeled(self, result):
+        data = json.loads(to_chrome_trace(result))
+        meta = [e for e in data["traceEvents"] if e.get("ph") == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"GPU 0", "training", "preprocessing"} <= names
+
+
+class TestGantt:
+    def test_renders_all_stage_rows(self, result):
+        out = render_gantt(result)
+        assert "mlp_fwd" in out and "emb_lookup" in out
+        assert "=" in out and "#" in out
+
+    def test_rejects_tiny_width(self, result):
+        with pytest.raises(ValueError):
+            render_gantt(result, width=5)
+
+    def test_empty_iteration(self, device):
+        res = device.run_training_standalone([])
+        assert render_gantt(res) == "(empty iteration)"
+
+    def test_row_cap(self, device, mlp_stage):
+        kernels = [
+            KernelDesc(f"k{i}", 5.0, ResourceVector(0.01, 0.01)) for i in range(60)
+        ]
+        res = device.simulate_iteration([mlp_stage], {0: kernels})
+        out = render_gantt(res, max_rows=10)
+        assert "more kernels not shown" in out
+
+    def test_bars_fit_width(self, result):
+        out = render_gantt(result, width=60)
+        for line in out.splitlines()[2:]:
+            if "|" in line:
+                assert len(line.split("|", 1)[1]) <= 61

@@ -1,0 +1,181 @@
+"""Unit tests for kernel descriptors, fusion, and sharding physics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.kernel import KernelDesc, fuse_kernels, shard_kernel
+from repro.gpusim.resources import A100_SPEC, ResourceVector
+
+SLOTS = A100_SPEC.total_warp_slots
+
+
+def make_kernel(duration=100.0, sm=0.1, dram=0.1, warps=64, tag="FillNull", launch=5.0):
+    return KernelDesc(
+        name=f"{tag}:test",
+        duration_us=duration,
+        demand=ResourceVector(sm, dram),
+        num_warps=warps,
+        tag=tag,
+        launch_us=launch,
+        warp_slots=SLOTS,
+    )
+
+
+class TestKernelDesc:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            KernelDesc("k", -1.0, ResourceVector(0.1, 0.1))
+
+    def test_rejects_negative_warps(self):
+        with pytest.raises(ValueError):
+            KernelDesc("k", 1.0, ResourceVector(0.1, 0.1), num_warps=-1)
+
+    def test_rejects_launch_exceeding_duration(self):
+        with pytest.raises(ValueError):
+            KernelDesc("k", 1.0, ResourceVector(0.1, 0.1), launch_us=2.0)
+
+    def test_body_us(self):
+        k = make_kernel(duration=100.0, launch=5.0)
+        assert k.body_us == pytest.approx(95.0)
+
+    def test_waves_subsaturation(self):
+        k = make_kernel(warps=SLOTS // 2)
+        assert k.waves == 1.0
+
+    def test_waves_oversubscribed(self):
+        k = make_kernel(warps=3 * SLOTS)
+        assert k.waves == pytest.approx(3.0)
+
+    def test_wave_floor(self):
+        k = make_kernel(duration=305.0, launch=5.0, warps=3 * SLOTS)
+        assert k.wave_floor_us == pytest.approx(100.0)
+
+    def test_with_duration(self):
+        k = make_kernel(duration=100.0)
+        assert k.with_duration(42.0).duration_us == 42.0
+
+
+class TestSharding:
+    def test_scaled_identity(self):
+        k = make_kernel()
+        assert k.scaled(1.0) is k
+
+    def test_scaled_rejects_bad_fraction(self):
+        k = make_kernel()
+        with pytest.raises(ValueError):
+            k.scaled(0.0)
+        with pytest.raises(ValueError):
+            k.scaled(1.5)
+
+    def test_shard_pays_launch_twice(self):
+        """Sharding is not free: total duration grows by one launch."""
+        k = make_kernel(duration=205.0, launch=5.0, warps=4 * SLOTS, sm=1.0)
+        a, b = shard_kernel(k, 0.5)
+        assert a.duration_us + b.duration_us > k.duration_us
+        assert a.duration_us + b.duration_us == pytest.approx(k.duration_us + k.launch_us, rel=0.02)
+
+    def test_shard_saturated_halves_body(self):
+        k = make_kernel(duration=405.0, launch=5.0, warps=4 * SLOTS, sm=1.0)
+        a, b = shard_kernel(k, 0.5)
+        assert a.body_us == pytest.approx(200.0, rel=0.01)
+        assert b.body_us == pytest.approx(200.0, rel=0.01)
+
+    def test_shard_below_saturation_hits_wave_floor(self):
+        """A sub-saturation kernel does not get faster by sharding."""
+        k = make_kernel(duration=25.0, launch=5.0, warps=1000, sm=1000 / SLOTS)
+        a, b = shard_kernel(k, 0.5)
+        # Both shards keep the full wave-floor body time.
+        assert a.body_us == pytest.approx(k.body_us, rel=0.01)
+        assert b.body_us == pytest.approx(k.body_us, rel=0.01)
+
+    def test_shard_demand_drops_below_saturation(self):
+        k = make_kernel(duration=105.0, launch=5.0, warps=SLOTS // 2, sm=0.5, dram=0.4)
+        a, _ = shard_kernel(k, 0.5)
+        assert a.demand.sm == pytest.approx(0.25, rel=0.05)
+        assert a.demand.dram < 0.4
+
+    def test_saturated_shard_keeps_full_demand(self):
+        """Half of a 4-wave kernel still saturates the device."""
+        k = make_kernel(duration=405.0, launch=5.0, warps=4 * SLOTS, sm=1.0)
+        a, _ = shard_kernel(k, 0.5)
+        assert a.demand.sm == 1.0
+
+    def test_shard_names_are_distinct(self):
+        a, b = shard_kernel(make_kernel(warps=2 * SLOTS), 0.3)
+        assert a.name != b.name
+
+    def test_shard_rejects_degenerate_fractions(self):
+        k = make_kernel()
+        with pytest.raises(ValueError):
+            shard_kernel(k, 0.0)
+        with pytest.raises(ValueError):
+            shard_kernel(k, 1.0)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_shard_warps_conserved_approximately(self, fraction):
+        k = make_kernel(duration=405.0, launch=5.0, warps=10_000, sm=1.0)
+        a, b = shard_kernel(k, fraction)
+        assert abs(a.num_warps + b.num_warps - k.num_warps) <= k.num_warps * 0.02 + 2
+
+
+class TestFusion:
+    def test_fuse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_kernels([], A100_SPEC)
+
+    def test_fuse_mixed_types_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_kernels([make_kernel(tag="FillNull"), make_kernel(tag="Ngram")], A100_SPEC)
+
+    def test_fuse_single_is_identity(self):
+        k = make_kernel()
+        assert fuse_kernels([k], A100_SPEC) is k
+
+    def test_fusion_amortizes_launch(self):
+        """Fusing launch-bound kernels beats running them back to back."""
+        members = [make_kernel(duration=20.0, launch=5.0, sm=0.01, dram=0.01, warps=32) for _ in range(8)]
+        fused = fuse_kernels(members, A100_SPEC)
+        serial = sum(k.duration_us for k in members)
+        assert fused.duration_us < serial
+        assert fused.duration_us < serial / 3
+
+    def test_fused_demand_is_summed(self):
+        members = [make_kernel(sm=0.2, dram=0.1, warps=SLOTS // 5) for _ in range(3)]
+        fused = fuse_kernels(members, A100_SPEC)
+        assert fused.demand.sm == pytest.approx(0.6, rel=0.01)
+        assert fused.demand.dram == pytest.approx(0.3, rel=0.01)
+
+    def test_fused_demand_capped_at_one(self):
+        members = [make_kernel(sm=0.5, dram=0.5, warps=SLOTS // 2) for _ in range(4)]
+        fused = fuse_kernels(members, A100_SPEC)
+        assert fused.demand.sm == 1.0
+        assert fused.demand.dram == 1.0
+
+    def test_fusion_never_beats_max_member_body(self):
+        members = [make_kernel(duration=50.0, launch=5.0, warps=500, sm=0.07) for _ in range(4)]
+        fused = fuse_kernels(members, A100_SPEC)
+        assert fused.body_us >= max(k.body_us for k in members) - 1e-9
+
+    def test_fusion_never_exceeds_serial_body(self):
+        members = [make_kernel(duration=100.0, launch=5.0, warps=SLOTS, sm=1.0) for _ in range(5)]
+        fused = fuse_kernels(members, A100_SPEC)
+        assert fused.body_us <= sum(k.body_us for k in members) + 1e-9
+
+    def test_fused_metadata(self):
+        members = [make_kernel() for _ in range(3)]
+        fused = fuse_kernels(members, A100_SPEC)
+        assert fused.meta["members"] == 3
+        assert len(fused.meta["fused"]) == 3
+        assert fused.tag == "FillNull"
+
+    def test_fused_warps_summed(self):
+        members = [make_kernel(warps=100) for _ in range(4)]
+        assert fuse_kernels(members, A100_SPEC).num_warps == 400
+
+    @given(st.integers(min_value=2, max_value=30))
+    def test_fusion_monotone_in_member_count(self, n):
+        """More fused members never make the fused kernel shorter."""
+        small = [make_kernel(duration=20.0, launch=5.0, sm=0.05, dram=0.02, warps=320) for _ in range(n)]
+        fused_n = fuse_kernels(small, A100_SPEC)
+        fused_2 = fuse_kernels(small[:2], A100_SPEC)
+        assert fused_n.duration_us >= fused_2.duration_us - 1e-9

@@ -1,0 +1,56 @@
+"""Tests for the stream/MPS sharing entry points."""
+
+import pytest
+
+from repro.gpusim import (
+    GpuDevice,
+    KernelDesc,
+    ResourceVector,
+    StageProfile,
+    run_on_low_priority_stream,
+    run_under_mps,
+)
+
+
+@pytest.fixture
+def pipeline():
+    return [
+        StageProfile("mlp", 1000.0, ResourceVector(0.85, 0.3)),
+        StageProfile("emb", 600.0, ResourceVector(0.2, 0.9)),
+    ]
+
+
+@pytest.fixture
+def kernels():
+    return [
+        KernelDesc(f"k{i}", 60.0, ResourceVector(0.2, 0.1), num_warps=64, tag="FillNull")
+        for i in range(6)
+    ]
+
+
+def test_stream_completes_all_kernels(pipeline, kernels):
+    result = run_on_low_priority_stream(GpuDevice(), pipeline, kernels)
+    assert len(result.kernel_spans) == len(kernels)
+
+
+def test_stream_extends_training(pipeline, kernels):
+    device = GpuDevice()
+    base = device.run_training_standalone(pipeline)
+    result = run_on_low_priority_stream(device, pipeline, kernels)
+    assert result.total_time_us > base.total_time_us
+
+
+def test_mps_beats_stream(pipeline, kernels):
+    device = GpuDevice()
+    stream = run_on_low_priority_stream(device, pipeline, kernels)
+    mps = run_under_mps(device, pipeline, kernels)
+    assert mps.total_time_us < stream.total_time_us
+
+
+def test_empty_kernel_list_is_noop(pipeline):
+    device = GpuDevice()
+    base = device.run_training_standalone(pipeline)
+    stream = run_on_low_priority_stream(device, pipeline, [])
+    mps = run_under_mps(device, pipeline, [])
+    assert stream.total_time_us == pytest.approx(base.total_time_us)
+    assert mps.total_time_us == pytest.approx(base.total_time_us)

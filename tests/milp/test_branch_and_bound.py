@@ -1,0 +1,114 @@
+"""Unit tests for the branch-and-bound MILP solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.model import MilpProblem
+
+
+def knapsack(values, weights, capacity):
+    p = MilpProblem(maximize=True)
+    xs = [p.add_binary(f"x{i}") for i in range(len(values))]
+    p.add_constraint({x: w for x, w in zip(xs, weights)}, "<=", capacity)
+    p.set_objective({x: v for x, v in zip(xs, values)})
+    return p
+
+
+def brute_force_knapsack(values, weights, capacity):
+    best = 0.0
+    for mask in itertools.product([0, 1], repeat=len(values)):
+        if sum(m * w for m, w in zip(mask, weights)) <= capacity:
+            best = max(best, sum(m * v for m, v in zip(mask, values)))
+    return best
+
+
+class TestBranchAndBound:
+    def test_trivial_max(self):
+        p = MilpProblem(maximize=True)
+        x, y = p.add_binary("x"), p.add_binary("y")
+        p.add_constraint({x: 1.0, y: 1.0}, "<=", 1.0)
+        p.set_objective({x: 1.0, y: 2.0})
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.status == "optimal"
+        assert sol.objective == pytest.approx(2.0)
+        np.testing.assert_allclose(sol.x, [0.0, 1.0])
+
+    def test_minimization(self):
+        p = MilpProblem(maximize=False)
+        x, y = p.add_binary("x"), p.add_binary("y")
+        p.add_constraint({x: 1.0, y: 1.0}, ">=", 1.0)
+        p.set_objective({x: 3.0, y: 5.0})
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        p = MilpProblem()
+        x = p.add_binary("x")
+        p.add_constraint({x: 1.0}, ">=", 2.0)
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.status == "infeasible"
+        assert not sol.ok
+
+    def test_classic_knapsack(self):
+        values = [60, 100, 120]
+        weights = [10, 20, 30]
+        sol = BranchAndBoundSolver().solve(knapsack(values, weights, 50))
+        assert sol.objective == pytest.approx(220.0)
+
+    def test_integer_variable_with_wider_bounds(self):
+        p = MilpProblem(maximize=True)
+        x = p.add_var("x", lb=0.0, ub=10.0, integer=True)
+        p.add_constraint({x: 2.0}, "<=", 7.0)  # x <= 3.5 -> integer 3
+        p.set_objective({x: 1.0})
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_mixed_integer_continuous(self):
+        p = MilpProblem(maximize=True)
+        x = p.add_binary("x")
+        y = p.add_var("y", lb=0.0, ub=1.0, integer=False)
+        p.add_constraint({x: 1.0, y: 1.0}, "<=", 1.5)
+        p.set_objective({x: 2.0, y: 1.0})
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.objective == pytest.approx(2.5)
+        assert sol.x[0] == pytest.approx(1.0)
+
+    def test_warm_start_used_as_incumbent(self):
+        p = knapsack([5, 4], [3, 3], 3)
+        warm = np.array([1.0, 0.0])
+        sol = BranchAndBoundSolver().solve(p, warm_start=warm)
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_infeasible_warm_start_ignored(self):
+        p = knapsack([5, 4], [3, 3], 3)
+        warm = np.array([1.0, 1.0])  # violates capacity
+        sol = BranchAndBoundSolver().solve(p, warm_start=warm)
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_node_limit_returns_feasible(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 100, 25).tolist()
+        weights = rng.integers(1, 50, 25).tolist()
+        p = knapsack(values, weights, 200)
+        sol = BranchAndBoundSolver(node_limit=3).solve(p)
+        assert sol.ok
+        assert sol.status in ("optimal", "feasible")
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 30), st.integers(1, 20)), min_size=1, max_size=8
+        ),
+        capacity=st.integers(min_value=1, max_value=60),
+    )
+    def test_matches_brute_force(self, data, capacity):
+        """Property: B&B matches exhaustive search on small knapsacks."""
+        values = [v for v, _ in data]
+        weights = [w for _, w in data]
+        sol = BranchAndBoundSolver().solve(knapsack(values, weights, capacity))
+        assert sol.ok
+        assert sol.objective == pytest.approx(brute_force_knapsack(values, weights, capacity))

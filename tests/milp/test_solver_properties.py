@@ -1,0 +1,91 @@
+"""Property tests: the B&B solver against brute force on random binary programs."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp.branch_and_bound import BranchAndBoundSolver
+from repro.milp.model import MilpProblem
+
+
+def random_binary_program(data, n_vars: int, n_cons: int):
+    """A random feasible-or-not binary program with <= and >= constraints."""
+    p = MilpProblem(maximize=True)
+    xs = [p.add_binary(f"x{i}") for i in range(n_vars)]
+    obj = {}
+    for x in xs:
+        obj[x] = data.draw(st.integers(min_value=-10, max_value=10))
+    p.set_objective(obj)
+    constraints = []
+    for c in range(n_cons):
+        coeffs = {
+            x: data.draw(st.integers(min_value=-5, max_value=5)) for x in xs
+        }
+        rhs = data.draw(st.integers(min_value=-8, max_value=12))
+        sense = data.draw(st.sampled_from(["<=", ">="]))
+        p.add_constraint(coeffs, sense, rhs)
+        constraints.append((coeffs, sense, rhs))
+    return p, xs, obj, constraints
+
+
+def brute_force(xs, obj, constraints):
+    best = None
+    for assign in itertools.product([0, 1], repeat=len(xs)):
+        feasible = True
+        for coeffs, sense, rhs in constraints:
+            lhs = sum(coeffs[x] * v for x, v in zip(xs, assign))
+            if sense == "<=" and lhs > rhs:
+                feasible = False
+                break
+            if sense == ">=" and lhs < rhs:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        value = sum(obj[x] * v for x, v in zip(xs, assign))
+        if best is None or value > best:
+            best = value
+    return best
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_bb_matches_brute_force_on_random_programs(data):
+    """Property: optimal objective equals exhaustive search (or both infeasible)."""
+    n_vars = data.draw(st.integers(min_value=1, max_value=7))
+    n_cons = data.draw(st.integers(min_value=0, max_value=4))
+    problem, xs, obj, constraints = random_binary_program(data, n_vars, n_cons)
+    solution = BranchAndBoundSolver().solve(problem)
+    expected = brute_force(xs, obj, constraints)
+    if expected is None:
+        assert solution.status == "infeasible"
+    else:
+        assert solution.ok, solution.status
+        assert solution.objective == pytest.approx(expected)
+        # The returned point itself must be feasible and achieve the value.
+        assert problem.is_feasible(solution.x)
+        assert problem.objective_value(solution.x) == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_warm_start_never_hurts(data):
+    """Property: supplying any feasible warm start never degrades optimality."""
+    n_vars = data.draw(st.integers(min_value=1, max_value=6))
+    problem, xs, obj, constraints = random_binary_program(data, n_vars, 2)
+    cold = BranchAndBoundSolver().solve(problem)
+    # Find some feasible point by brute force to use as a warm start.
+    warm_point = None
+    for assign in itertools.product([0, 1], repeat=n_vars):
+        vec = np.array(assign, dtype=float)
+        if problem.is_feasible(vec):
+            warm_point = vec
+            break
+    if warm_point is None:
+        assert cold.status == "infeasible"
+        return
+    warm = BranchAndBoundSolver().solve(problem, warm_start=warm_point)
+    assert warm.ok
+    assert warm.objective == pytest.approx(cold.objective)

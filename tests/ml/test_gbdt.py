@@ -1,0 +1,89 @@
+"""Unit tests for the gradient-boosting regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GradientBoostingRegressor
+from repro.ml.metrics import r2_score
+
+
+def smooth_data(n=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 4))
+    y = 3 * x[:, 0] + np.sin(5 * x[:, 1]) + x[:, 2] * x[:, 3]
+    return x, y
+
+
+class TestGradientBoostingRegressor:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_tiny_data(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_fits_smooth_function(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(n_estimators=80, max_depth=4).fit(x[:1200], y[:1200])
+        assert r2_score(y[1200:], model.predict(x[1200:])) > 0.95
+
+    def test_training_loss_decreases(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(n_estimators=50).fit(x, y)
+        assert model.train_scores_[-1] < model.train_scores_[0]
+
+    def test_single_estimator_beats_mean(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(n_estimators=1, learning_rate=1.0).fit(x, y)
+        mse_model = float(np.mean((model.predict(x) - y) ** 2))
+        mse_mean = float(np.mean((y - y.mean()) ** 2))
+        assert mse_model < mse_mean
+
+    def test_early_stopping_limits_trees(self):
+        x, y = smooth_data(800)
+        model = GradientBoostingRegressor(
+            n_estimators=300, early_stopping_rounds=5, random_state=1
+        ).fit(x, y)
+        assert model.n_trees_ < 300
+        assert len(model.validation_scores_) == model.n_trees_
+
+    def test_subsampling_still_learns(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(n_estimators=60, subsample=0.5, random_state=2).fit(x, y)
+        assert r2_score(y, model.predict(x)) > 0.9
+
+    def test_deterministic_given_seed(self):
+        x, y = smooth_data(500)
+        a = GradientBoostingRegressor(n_estimators=20, subsample=0.7, random_state=3).fit(x, y)
+        b = GradientBoostingRegressor(n_estimators=20, subsample=0.7, random_state=3).fit(x, y)
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_predict_rejects_wrong_width(self):
+        x, y = smooth_data(300)
+        model = GradientBoostingRegressor(n_estimators=5).fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((4, 7)))
+
+    def test_feature_importances_sum_to_one(self):
+        x, y = smooth_data(600)
+        model = GradientBoostingRegressor(n_estimators=20).fit(x, y)
+        imp = model.feature_importances()
+        assert imp.shape == (4,)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_ranked_high(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((800, 3))
+        y = 10 * x[:, 1]  # only feature 1 matters
+        model = GradientBoostingRegressor(n_estimators=20).fit(x, y)
+        imp = model.feature_importances()
+        assert imp[1] == imp.max()

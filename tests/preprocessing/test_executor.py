@@ -1,0 +1,64 @@
+"""Tests for functional execution and data-preparation costing."""
+
+import pytest
+
+from repro.preprocessing.data import SyntheticCriteoDataset
+from repro.preprocessing.executor import (
+    DataPreparation,
+    estimate_data_preparation,
+    execute_graph_set,
+)
+from repro.preprocessing.plans import build_plan
+
+
+class TestExecuteGraphSet:
+    def test_input_batch_untouched(self, plan0):
+        gs, schema = plan0
+        batch = SyntheticCriteoDataset(schema, seed=1).batch(512)
+        before = len(batch.dense) + len(batch.sparse)
+        out = execute_graph_set(gs, batch)
+        after_input = len(batch.dense) + len(batch.sparse)
+        assert after_input == before
+        assert len(out.dense) + len(out.sparse) > before
+
+    def test_row_count_mismatch_rejected(self, plan0):
+        gs, schema = plan0
+        batch = SyntheticCriteoDataset(schema, seed=1).batch(16)
+        with pytest.raises(ValueError):
+            execute_graph_set(gs, batch)
+
+    def test_all_outputs_present(self, plan0):
+        gs, schema = plan0
+        batch = SyntheticCriteoDataset(schema, seed=1).batch(512)
+        out = execute_graph_set(gs, batch)
+        for graph in gs:
+            final = graph.output_op.output
+            assert final in out.dense or final in out.sparse
+
+
+class TestDataPreparation:
+    def test_total_is_sum(self):
+        prep = DataPreparation(alloc_us=10.0, h2d_copy_us=20.0, dispatch_us=5.0)
+        assert prep.total_us == 35.0
+
+    def test_estimate_from_graph_set(self, plan0):
+        gs, _ = plan0
+        prep = estimate_data_preparation(gs)
+        assert prep.alloc_us > 0
+        assert prep.h2d_copy_us > 0
+        assert prep.dispatch_us > 0
+
+    def test_estimate_scales_with_ops(self):
+        gs0, _ = build_plan(0, rows=128)
+        gs3, _ = build_plan(3, rows=128)
+        assert estimate_data_preparation(gs3).total_us > estimate_data_preparation(gs0).total_us
+
+    def test_plain_list_requires_rows(self, plan0):
+        gs, _ = plan0
+        with pytest.raises(ValueError):
+            estimate_data_preparation(list(gs))
+
+    def test_plain_list_with_rows(self, plan0):
+        gs, _ = plan0
+        prep = estimate_data_preparation(list(gs), rows=512)
+        assert prep.total_us == pytest.approx(estimate_data_preparation(gs).total_us)

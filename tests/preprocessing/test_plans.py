@@ -1,0 +1,111 @@
+"""Tests that the Table-3 plans are reconstructed exactly."""
+
+import pytest
+
+from repro.preprocessing.data import SyntheticCriteoDataset
+from repro.preprocessing.executor import execute_graph_set
+from repro.preprocessing.graph import DENSE_CONSUMER
+from repro.preprocessing.plans import (
+    PLAN_TABLE,
+    build_plan,
+    build_skewed_plan,
+    table_for_sparse_feature,
+)
+
+
+class TestPlanTable:
+    def test_four_plans(self):
+        assert sorted(PLAN_TABLE) == [0, 1, 2, 3]
+
+    def test_table3_row_values(self):
+        assert PLAN_TABLE[0].total_ops == 104
+        assert PLAN_TABLE[2].total_ops == 384
+        assert PLAN_TABLE[3].total_ops == 1548
+        assert PLAN_TABLE[3].num_sparse == 104
+
+
+class TestBuildPlan:
+    @pytest.mark.parametrize("plan_id", [0, 1, 2, 3])
+    def test_total_ops_match_table3(self, plan_id):
+        gs, _ = build_plan(plan_id, rows=128)
+        assert gs.total_ops == PLAN_TABLE[plan_id].total_ops
+
+    @pytest.mark.parametrize("plan_id", [0, 1, 2, 3])
+    def test_feature_counts_match_table3(self, plan_id):
+        gs, schema = build_plan(plan_id, rows=128)
+        spec = PLAN_TABLE[plan_id]
+        assert schema.num_dense == spec.num_dense
+        assert schema.num_sparse == spec.num_sparse
+
+    @pytest.mark.parametrize("plan_id", [0, 1, 2, 3])
+    def test_ops_per_input_feature(self, plan_id):
+        """Table 3's op/feature density over the raw input features."""
+        gs, schema = build_plan(plan_id, rows=128)
+        density = gs.total_ops / (schema.num_dense + schema.num_sparse)
+        assert density == pytest.approx(PLAN_TABLE[plan_id].ops_per_feature, rel=0.05)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError):
+            build_plan(7)
+
+    def test_plan0_uses_kaggle(self):
+        _, schema = build_plan(0, rows=64)
+        assert schema.name.startswith("criteo_kaggle")
+
+    def test_plan1_uses_terabyte(self):
+        _, schema = build_plan(1, rows=64)
+        assert schema.name.startswith("criteo_terabyte")
+
+    def test_every_sparse_feature_has_a_table_consumer(self):
+        gs, schema = build_plan(1, rows=64)
+        consumers = gs.consumers()
+        for feat in schema.sparse_names():
+            assert table_for_sparse_feature(feat) in consumers
+
+    def test_dense_features_feed_dense_consumer(self):
+        gs, _ = build_plan(0, rows=64)
+        dense_graphs = gs.graphs_for_consumer(DENSE_CONSUMER)
+        assert len(dense_graphs) == 13
+
+    def test_plan2_contains_fusion_conflicts(self):
+        """Even/odd sparse chains order SigridHash and FirstX oppositely."""
+        gs, _ = build_plan(2, rows=64)
+        even = gs["g_sparse_0"]
+        odd = gs["g_sparse_1"]
+        assert even.ops[0].op_name == "SigridHash"
+        assert odd.ops[0].op_name == "FirstX"
+
+    def test_plan3_has_ngram_graphs(self):
+        gs, _ = build_plan(3, rows=64)
+        ngram_graphs = [g for g in gs if g.name.startswith("g_ngram")]
+        assert len(ngram_graphs) == 23
+        assert all(g.ops[0].op_name == "Ngram" for g in ngram_graphs)
+
+    @pytest.mark.parametrize("plan_id", [0, 1, 2])
+    def test_plans_execute_functionally(self, plan_id):
+        gs, schema = build_plan(plan_id, rows=64)
+        batch = SyntheticCriteoDataset(schema, seed=3).batch(64)
+        out = execute_graph_set(gs, batch)
+        for graph in gs:
+            assert graph.output_op.output in out.dense or graph.output_op.output in out.sparse
+
+
+class TestSkewedPlan:
+    def test_more_ops_than_plan1(self):
+        skew, _ = build_skewed_plan(rows=64, num_gpus=4)
+        base, _ = build_plan(1, rows=64)
+        assert skew.total_ops > base.total_ops
+
+    def test_heavy_graphs_target_gpu0_tables(self):
+        skew, _ = build_skewed_plan(rows=64, num_gpus=4)
+        heavy = [g for g in skew if g.name.startswith("g_ngram_skew")]
+        assert heavy
+        # Every heavy graph is consumed by a stride-0 table family.
+        for g in heavy:
+            feat = g.consumer.removeprefix("table:sparse_")
+            assert int(feat) % 4 == 0
+
+    def test_custom_stride(self):
+        skew, _ = build_skewed_plan(rows=64, num_gpus=2, heavy_every=13)
+        heavy = [g for g in skew if g.name.startswith("g_ngram_skew")]
+        assert len(heavy) == 2

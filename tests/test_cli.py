@@ -1,0 +1,72 @@
+"""Tests for the ``rap-repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.plan == 1 and args.gpus == 4 and args.batch == 4096
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--plan", "9"])
+
+    def test_mapping_choices(self):
+        args = build_parser().parse_args(["plan", "--mapping", "data_parallel"])
+        assert args.mapping == "data_parallel"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--mapping", "bogus"])
+
+
+class TestPlanCommand:
+    def test_plan_prints_summary(self, capsys):
+        assert main(["plan", "--plan", "0", "--gpus", "2", "--batch", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "RAP plan" in out
+        assert "training slowdown" in out
+
+    def test_plan_gantt(self, capsys):
+        main(["plan", "--plan", "0", "--gpus", "2", "--batch", "1024", "--gantt"])
+        out = capsys.readouterr().out
+        assert "emb_lookup_fwd" in out
+        assert "=" in out
+
+    def test_plan_emits_artifacts(self, tmp_path, capsys):
+        code = tmp_path / "plan.py"
+        trace = tmp_path / "trace.json"
+        main([
+            "plan", "--plan", "0", "--gpus", "2", "--batch", "1024",
+            "--emit-code", str(code), "--emit-trace", str(trace),
+        ])
+        assert "SCHEDULE" in code.read_text()
+        data = json.loads(trace.read_text())
+        assert "traceEvents" in data
+
+    def test_plan_no_fusion(self, capsys):
+        main(["plan", "--plan", "0", "--gpus", "2", "--batch", "1024", "--no-fusion"])
+        out = capsys.readouterr().out
+        assert "fusion                 : off" in out
+
+
+class TestCompareCommand:
+    def test_compare_lists_all_systems(self, capsys):
+        assert main(["compare", "--plan", "0", "--gpus", "2", "--batch", "1024"]) == 0
+        out = capsys.readouterr().out
+        for system in ("TorchArrow", "Sequential GPU", "CUDA stream", "MPS", "RAP", "Ideal"):
+            assert system in out
+
+
+class TestPredictorCommand:
+    def test_predictor_small_run(self, capsys):
+        assert main(["predictor", "--samples", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out

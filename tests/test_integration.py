@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the whole system.
+
+These exercise the complete pipeline the way the paper's evaluation does:
+build a Table-3 plan, derive the matching DLRM, search a RAP co-running
+plan, simulate it, and check the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    RapPlanner,
+    SyntheticCriteoDataset,
+    TrainingWorkload,
+    build_plan,
+    build_skewed_plan,
+    execute_graph_set,
+    generate_plan_module,
+    model_for_plan,
+    run_mps_baseline,
+    run_sequential_baseline,
+)
+from repro.core import load_plan_module, train_default_predictor
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    pred, _ = train_default_predictor(num_samples=1200, seed=5)
+    return pred
+
+
+@pytest.mark.parametrize("plan_id", [0, 1])
+def test_light_plans_fully_overlapped(plan_id):
+    """Plans 0/1 vanish into leftover capacity on any GPU count."""
+    graphs, schema = build_plan(plan_id, rows=2048)
+    for num_gpus in (2, 4):
+        workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=num_gpus, local_batch=2048)
+        report = RapPlanner(workload).plan_and_evaluate(graphs)
+        assert report.training_slowdown < 1.05
+
+
+def test_rap_scales_nearly_linearly():
+    graphs, schema = build_plan(1, rows=2048)
+    tputs = []
+    for n in (2, 4, 8):
+        workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=n, local_batch=2048)
+        tputs.append(RapPlanner(workload).plan_and_evaluate(graphs).throughput)
+    assert tputs[1] > 1.7 * tputs[0]
+    assert tputs[2] > 3.0 * tputs[0]
+
+
+def test_headline_speedups_on_plan2():
+    graphs, schema = build_plan(2, rows=4096)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+    rap = RapPlanner(workload).plan_and_evaluate(graphs)
+    seq = run_sequential_baseline(graphs, workload)
+    mps = run_mps_baseline(graphs, workload)
+    assert rap.throughput / seq.throughput > 1.5
+    assert rap.throughput / mps.throughput > 1.2
+    assert rap.throughput >= 0.95 * workload.ideal_throughput()
+
+
+def test_predictor_driven_plan_matches_oracle_plan():
+    """Planning with the ML predictor lands close to oracle-cost planning."""
+    graphs, schema = build_plan(1, rows=2048)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=2048)
+    pred, _ = train_default_predictor(num_samples=1200, seed=5)
+    oracle = RapPlanner(workload).plan_and_evaluate(graphs)
+    learned = RapPlanner(workload, predictor=pred).plan_and_evaluate(graphs)
+    assert learned.iteration_us == pytest.approx(oracle.iteration_us, rel=0.10)
+
+
+def test_fig10_breakdown_ordering():
+    """Sequential < MPS < RAP ablations < full RAP <= Ideal."""
+    graphs, schema = build_plan(2, rows=2048)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=2048)
+    seq = run_sequential_baseline(graphs, workload).throughput
+    mps = run_mps_baseline(graphs, workload).throughput
+    no_fusion = RapPlanner(workload, fusion_enabled=False).plan_and_evaluate(graphs).throughput
+    no_mapping = RapPlanner(workload, mapping_strategy="data_parallel").plan_and_evaluate(graphs).throughput
+    full = RapPlanner(workload).plan_and_evaluate(graphs).throughput
+    ideal = workload.ideal_throughput()
+    assert seq < mps < full
+    assert no_fusion <= full + 1e-6
+    assert no_mapping <= full + 1e-6
+    assert full <= ideal * 1.001
+
+
+def test_skewed_mapping_study():
+    """Fig. 12: RAP's mapping beats both DP and DL on the skewed plan."""
+    graphs, schema = build_skewed_plan(rows=2048, num_gpus=4)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=2048)
+    rap = RapPlanner(workload).plan_and_evaluate(graphs)
+    dp = RapPlanner(workload, mapping_strategy="data_parallel").plan_and_evaluate(graphs)
+    dl = RapPlanner(workload, mapping_strategy="data_locality").plan_and_evaluate(graphs)
+    # RAP optimizes a cost-model objective; allow 2% simulation skew.
+    assert rap.iteration_us <= dp.iteration_us * 1.02
+    assert rap.iteration_us <= dl.iteration_us * 1.02
+
+
+def test_generated_code_runs_on_real_data():
+    """Plan -> codegen -> execute on synthetic Criteo data, end to end."""
+    graphs, schema = build_plan(0, rows=512)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=512)
+    plan = RapPlanner(workload).plan(graphs)
+    module = load_plan_module(generate_plan_module(plan))
+    ds = SyntheticCriteoDataset(schema, seed=42)
+    batch = ds.batch(512)
+    for gpu in module.SCHEDULE:
+        module.run_gpu(gpu, batch)
+    reference = execute_graph_set(graphs, ds.batch(512))
+    for graph in graphs:
+        out = graph.output_op.output
+        np.testing.assert_array_equal(
+            np.asarray(batch.column(out).values),
+            np.asarray(reference.column(out).values),
+        )
+
+
+def test_plan_is_contention_free_in_simulation():
+    """RAP's defining property: training never slows down (L_delta <= 0)."""
+    graphs, schema = build_plan(2, rows=2048)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=2048)
+    planner = RapPlanner(workload)
+    report = planner.plan_and_evaluate(planner.plan(graphs).graph_set)
+    for gpu_result in report.cluster_result.per_gpu:
+        assert gpu_result.training_slowdown < 1.02
