@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
-from ..core.mapping import GraphMapping, map_data_parallel
+from ..core.mapping import map_data_parallel
 from ..preprocessing.graph import GraphSet
 
 __all__ = ["BaselineReport", "unfused_kernels_per_gpu", "dp_mapping_comm_bytes"]

@@ -4,8 +4,12 @@ Subcommands
 -----------
 plan
     Search a RAP co-running plan for one of the Table-3 workloads, print
-    the schedule summary, and optionally write the generated plan module
-    and a Chrome trace of the simulated iteration.
+    the schedule summary, and optionally write the generated plan module,
+    a Chrome trace of the simulated iteration, or a JSON plan artifact.
+run
+    Execute a plan through the fault-tolerant runtime for N iterations,
+    optionally injecting deterministic faults, and print the resilience
+    report (recovery ladder, retries, replans).
 compare
     Run RAP against all four baseline systems on one workload.
 experiments
@@ -26,17 +30,29 @@ from .baselines import (
     run_sequential_baseline,
     run_torcharrow_baseline,
 )
-from .core import RapPlanner, generate_plan_module
+from .core import PlanLoadError, RapPlanner, generate_plan_module, load_plan, save_plan
 from .dlrm import TrainingWorkload, model_for_plan
 from .experiments.reporting import format_kv, format_table
 from .gpusim import render_gantt, to_chrome_trace
 from .preprocessing import build_plan
+from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
+from .runtime import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantRuntime,
+)
 
 __all__ = ["main", "build_parser"]
 
 
 def _workload(args) -> tuple:
-    graphs, schema = build_plan(args.plan, rows=args.batch)
+    if getattr(args, "random_plan", False):
+        graphs, schema = generate_random_plan(
+            RandomPlanConfig(seed=args.seed), rows=args.batch
+        )
+    else:
+        graphs, schema = build_plan(args.plan, rows=args.batch)
     model = model_for_plan(graphs, schema)
     workload = TrainingWorkload(model, num_gpus=args.gpus, local_batch=args.batch)
     return graphs, workload
@@ -47,6 +63,37 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="Table-3 preprocessing plan (default 1)")
     parser.add_argument("--gpus", type=int, default=4, help="number of simulated GPUs")
     parser.add_argument("--batch", type=int, default=4096, help="per-GPU batch size")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for random-plan generation and fault injection")
+    parser.add_argument("--random-plan", action="store_true",
+                        help="use a randomly generated workload (seeded by --seed) "
+                             "instead of a Table-3 plan")
+
+
+def _parse_inject(spec: str) -> FaultSpec:
+    """Parse ``KIND=RATE[:MAGNITUDE[:PERSISTENCE]]`` into a FaultSpec."""
+    kind, sep, rest = spec.partition("=")
+    if not sep or not rest:
+        raise ValueError(
+            f"bad --inject spec {spec!r}: expected KIND=RATE[:MAGNITUDE[:PERSISTENCE]]"
+        )
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"bad --inject spec {spec!r}: unknown fault kind {kind!r} "
+            f"(expected one of {', '.join(FAULT_KINDS)})"
+        )
+    parts = rest.split(":")
+    if len(parts) > 3:
+        raise ValueError(
+            f"bad --inject spec {spec!r}: expected KIND=RATE[:MAGNITUDE[:PERSISTENCE]]"
+        )
+    try:
+        rate = float(parts[0])
+        magnitude = float(parts[1]) if len(parts) > 1 else 2.0
+        persistence = float(parts[2]) if len(parts) > 2 else 0.0
+    except ValueError:
+        raise ValueError(f"bad --inject spec {spec!r}: non-numeric value") from None
+    return FaultSpec(kind, rate=rate, magnitude=magnitude, persistence=persistence)
 
 
 def cmd_plan(args) -> int:
@@ -83,6 +130,40 @@ def cmd_plan(args) -> int:
     if args.emit_trace:
         Path(args.emit_trace).write_text(to_chrome_trace(report.cluster_result))
         print(f"chrome trace -> {args.emit_trace}")
+    if args.save_json:
+        save_plan(args.save_json, plan)
+        print(f"plan artifact -> {args.save_json}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    graphs, workload = _workload(args)
+    planner = RapPlanner(workload)
+    plan = load_plan(args.load_plan, workload, graphs) if args.load_plan else None
+    specs = [_parse_inject(s) for s in args.inject or []]
+    runtime = FaultTolerantRuntime(
+        planner,
+        graphs,
+        plan=plan,
+        injector=FaultInjector(specs, seed=args.seed),
+    )
+    report = runtime.run(args.iterations)
+    print(
+        format_kv(
+            {
+                "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+                "fault injection": ", ".join(f"{s.kind}@{s.rate}" for s in specs) or "off",
+                "seed": args.seed,
+                "predicted exposed (us)": runtime.plan.predicted_exposed_us,
+            },
+            title="Fault-tolerant run",
+        )
+    )
+    print()
+    print(report.summary())
+    if args.save_report:
+        save_plan(args.save_report, runtime.plan, resilience=report.to_dict())
+        print(f"\nplan + resilience report -> {args.save_report}")
     return 0
 
 
@@ -121,7 +202,7 @@ def cmd_experiments(args) -> int:
 def cmd_predictor(args) -> int:
     from .experiments import table5
 
-    results = table5.run(num_samples=args.samples)
+    results = table5.run(num_samples=args.samples, seed=args.seed)
     print(table5.render(results))
     return 0
 
@@ -137,7 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--gantt", action="store_true", help="print an ASCII Gantt of GPU 0")
     p_plan.add_argument("--emit-code", metavar="FILE", help="write the generated plan module")
     p_plan.add_argument("--emit-trace", metavar="FILE", help="write a Chrome trace JSON")
+    p_plan.add_argument("--save-json", metavar="FILE", help="write a JSON plan artifact")
     p_plan.set_defaults(fn=cmd_plan)
+
+    p_run = sub.add_parser("run", help="execute a plan through the fault-tolerant runtime")
+    _add_workload_args(p_run)
+    p_run.add_argument("--iterations", type=int, default=20,
+                       help="number of training iterations to execute (default 20)")
+    p_run.add_argument("--inject", metavar="KIND=RATE[:MAG[:PERSIST]]", action="append",
+                       help="inject faults of KIND at RATE per iteration; repeatable. "
+                            f"Kinds: {', '.join(FAULT_KINDS)}")
+    p_run.add_argument("--load-plan", metavar="FILE", help="load a JSON plan artifact "
+                       "instead of searching a fresh plan")
+    p_run.add_argument("--save-report", metavar="FILE",
+                       help="write the plan plus the resilience report as JSON")
+    p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="RAP vs the four baselines")
     _add_workload_args(p_cmp)
@@ -149,13 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pred = sub.add_parser("predictor", help="train the latency predictor (Table 5)")
     p_pred.add_argument("--samples", type=int, default=11_000)
+    p_pred.add_argument("--seed", type=int, default=7,
+                        help="seed for predictor training-data generation")
     p_pred.set_defaults(fn=cmd_predictor)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except PlanLoadError as exc:
+        print(f"rap-repro: error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as exc:
+        print(f"rap-repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -37,8 +37,16 @@ from .mapping import (
 from .planner import RapPlan, RapPlanner, RapRunReport
 from .codegen import generate_plan_module, load_plan_module
 from .hybrid import HybridPlanner, HybridReport, HybridSplit
-from .adaptation import AdaptationEvent, AdaptiveReplanner, drift_graph_set
-from .serialization import FORMAT_VERSION, plan_from_json, plan_to_json
+from .adaptation import AdaptationEvent, AdaptiveReplanner, drift_graph_set, scale_plan_kernels
+from .serialization import (
+    FORMAT_VERSION,
+    PlanLoadError,
+    load_plan,
+    plan_from_json,
+    plan_to_json,
+    resilience_from_json,
+    save_plan,
+)
 
 __all__ = [
     "OverlappingCapacityEstimator",
@@ -79,7 +87,12 @@ __all__ = [
     "AdaptationEvent",
     "AdaptiveReplanner",
     "drift_graph_set",
+    "scale_plan_kernels",
     "FORMAT_VERSION",
+    "PlanLoadError",
+    "load_plan",
     "plan_from_json",
     "plan_to_json",
+    "resilience_from_json",
+    "save_plan",
 ]

@@ -27,7 +27,7 @@ from ..dlrm.training import TrainingWorkload
 from ..preprocessing.graph import FeatureGraph, GraphSet
 from .planner import RapPlan, RapPlanner, RapRunReport
 
-__all__ = ["drift_graph_set", "AdaptationEvent", "AdaptiveReplanner"]
+__all__ = ["drift_graph_set", "scale_plan_kernels", "AdaptationEvent", "AdaptiveReplanner"]
 
 
 def drift_graph_set(graph_set: GraphSet, list_length_scale: float) -> GraphSet:
@@ -49,6 +49,33 @@ def drift_graph_set(graph_set: GraphSet, list_length_scale: float) -> GraphSet:
         for g in graph_set
     ]
     return GraphSet(drifted, rows=graph_set.rows)
+
+
+def scale_plan_kernels(
+    plan: RapPlan, scale: float
+) -> tuple[list[dict[int, list]], list[list]]:
+    """A plan's placement with every kernel duration scaled by ``scale``.
+
+    This is the first-order stale-plan effect of input drift: the placement
+    (which stage hosts which kernel) is frozen, but each kernel's work --
+    and therefore its duration -- tracks the live distribution. Returns
+    ``(assignments_per_gpu, trailing_per_gpu)`` ready for
+    :meth:`repro.dlrm.training.TrainingWorkload.simulate`.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    assignments = [
+        {
+            idx: [k.with_duration(k.duration_us * scale) for k in kernels]
+            for idx, kernels in per_gpu.items()
+        }
+        for per_gpu in plan.assignments_per_gpu
+    ]
+    trailing = [
+        [k.with_duration(k.duration_us * scale) for k in kernels]
+        for kernels in plan.trailing_per_gpu
+    ]
+    return assignments, trailing
 
 
 @dataclass
@@ -131,17 +158,7 @@ class AdaptiveReplanner:
         planned_total = self._plan.graph_set.standalone_latency_us(self.workload.spec)
         drifted_total = drifted.standalone_latency_us(self.workload.spec)
         scale = drifted_total / planned_total if planned_total > 0 else 1.0
-        assignments = [
-            {
-                idx: [k.with_duration(k.duration_us * scale) for k in kernels]
-                for idx, kernels in per_gpu.items()
-            }
-            for per_gpu in self._plan.assignments_per_gpu
-        ]
-        trailing = [
-            [k.with_duration(k.duration_us * scale) for k in kernels]
-            for kernels in self._plan.trailing_per_gpu
-        ]
+        assignments, trailing = scale_plan_kernels(self._plan, scale)
         result = self.workload.simulate(
             assignments_per_gpu=assignments,
             trailing_per_gpu=trailing,

@@ -18,7 +18,7 @@ Two estimation paths are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..gpusim.device import GpuDevice, StageProfile

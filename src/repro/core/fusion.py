@@ -19,7 +19,7 @@ Also provides the two sharding primitives of §6.2:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..gpusim.kernel import KernelDesc, fuse_kernels, shard_kernel

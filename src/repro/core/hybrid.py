@@ -18,15 +18,29 @@ The steady-state iteration time is then
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 from ..baselines.torcharrow import CpuWorkerPool
 from ..dlrm.training import TrainingWorkload
+from ..gpusim.kernel import KernelDesc
 from ..preprocessing.graph import DENSE_CONSUMER, FeatureGraph, GraphSet
 from .capacity import OverlappingCapacityEstimator
 from .planner import RapPlanner, RapRunReport
 
-__all__ = ["HybridSplit", "HybridReport", "HybridPlanner"]
+__all__ = [
+    "HybridSplit",
+    "HybridReport",
+    "HybridPlanner",
+    "degraded_pool",
+    "cpu_fallback_production_us",
+]
+
+# Single-CPU-worker slowdown vs. the GPU for a preprocessing kernel whose
+# operator identity is no longer available (a sharded/fused descriptor).
+# Matches the order of magnitude of the per-op cpu_latency_us/gpu ratios in
+# repro.preprocessing.ops.
+GPU_TO_CPU_SLOWDOWN = 25.0
 
 
 @dataclass
@@ -68,6 +82,42 @@ class HybridReport:
     @property
     def cpu_bound(self) -> bool:
         return self.cpu_production_us > self.rap_report.iteration_us
+
+
+def degraded_pool(pool: CpuWorkerPool, worker_fraction: float) -> CpuWorkerPool:
+    """A pool running with only ``worker_fraction`` of its workers alive.
+
+    Models the post-crash regime of a CPU preprocessing worker pool: until
+    the supervisor respawns the dead workers, throughput drops in
+    proportion to the surviving workers (the tf.data-service failure mode).
+    """
+    if not 0.0 < worker_fraction <= 1.0:
+        raise ValueError("worker_fraction must be in (0, 1]")
+    return replace(
+        pool,
+        workers_per_gpu=max(1, int(pool.workers_per_gpu * worker_fraction)),
+        max_effective_workers=max(1, int(pool.max_effective_workers * worker_fraction)),
+    )
+
+
+def cpu_fallback_production_us(
+    pool: CpuWorkerPool,
+    kernels: Sequence[KernelDesc],
+    num_gpus: int,
+    gpu_to_cpu_slowdown: float = GPU_TO_CPU_SLOWDOWN,
+) -> float:
+    """Steady-state cost of producing ``kernels``' outputs on the CPU pool.
+
+    Used by the fault-tolerant runtime's last degradation rung: a kernel
+    that keeps failing on every GPU placement is evicted to the host. The
+    kernel's GPU-standalone latency is converted to single-worker CPU work
+    and divided across the pool, exactly like
+    :meth:`repro.baselines.torcharrow.CpuWorkerPool.batch_production_us`.
+    """
+    if not kernels:
+        return 0.0
+    total_cpu_us = sum(k.duration_us for k in kernels) * gpu_to_cpu_slowdown
+    return total_cpu_us / pool.effective_workers(num_gpus)
 
 
 class HybridPlanner:

@@ -14,7 +14,7 @@ is latency-determined by its input shape and shares the ``1D Ops`` model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -22,7 +22,6 @@ graphs are movable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..dlrm.training import TrainingWorkload
 from ..preprocessing.graph import DENSE_CONSUMER, FeatureGraph, GraphSet

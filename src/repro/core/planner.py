@@ -18,8 +18,7 @@ and Fig. 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.cluster import ClusterIterationResult

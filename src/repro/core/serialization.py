@@ -14,7 +14,8 @@ because the device model only consumes each kernel's own fields.
 from __future__ import annotations
 
 import json
-from typing import Any
+from pathlib import Path
+from typing import Any, Mapping
 
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
@@ -24,9 +25,32 @@ from ..preprocessing.graph import GraphSet
 from .mapping import GraphMapping, MappingEvaluation
 from .planner import RapPlan
 
-__all__ = ["plan_to_json", "plan_from_json", "FORMAT_VERSION"]
+__all__ = [
+    "PlanLoadError",
+    "plan_to_json",
+    "plan_from_json",
+    "load_plan",
+    "save_plan",
+    "resilience_from_json",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
+
+
+class PlanLoadError(ValueError):
+    """A plan artifact could not be loaded (missing, truncated, or corrupt).
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    raw decode errors' common base keep working; ``path`` names the
+    offending file when the plan came from disk (``None`` for in-memory
+    strings).
+    """
+
+    def __init__(self, message: str, path: str | Path | None = None) -> None:
+        self.path = str(path) if path is not None else None
+        prefix = f"{self.path}: " if self.path else ""
+        super().__init__(f"{prefix}{message}")
 
 
 def _kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
@@ -62,8 +86,17 @@ def _kernel_from_dict(data: dict[str, Any]) -> KernelDesc:
     )
 
 
-def plan_to_json(plan: RapPlan, indent: int | None = 2) -> str:
-    """Serialize the decision content of a plan."""
+def plan_to_json(
+    plan: RapPlan,
+    indent: int | None = 2,
+    resilience: Mapping[str, Any] | None = None,
+) -> str:
+    """Serialize the decision content of a plan.
+
+    ``resilience`` optionally embeds a fault-tolerant runtime's
+    :meth:`repro.runtime.ResilienceReport.to_dict` alongside the plan, so a
+    deployment can persist what the plan survived next to the plan itself.
+    """
     payload = {
         "format_version": FORMAT_VERSION,
         "workload": {
@@ -92,6 +125,8 @@ def plan_to_json(plan: RapPlan, indent: int | None = 2) -> str:
         "fusion_enabled": plan.fusion_enabled,
         "interleaving_enabled": plan.interleaving_enabled,
     }
+    if resilience is not None:
+        payload["resilience"] = dict(resilience)
     return json.dumps(payload, indent=indent)
 
 
@@ -99,39 +134,53 @@ def plan_from_json(
     source: str,
     workload: TrainingWorkload,
     graph_set: GraphSet,
+    path: str | Path | None = None,
 ) -> RapPlan:
     """Rebuild a plan against a live workload and graph set.
 
     The workload must match the serialized shape (GPU count and batch
-    size); the graph set is re-attached for code generation.
+    size); the graph set is re-attached for code generation. A truncated or
+    structurally corrupt artifact raises :class:`PlanLoadError` naming
+    ``path`` (when given) instead of leaking a raw decode error.
     """
-    data = json.loads(source)
+    try:
+        data = json.loads(source)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"plan file is not valid JSON ({exc})", path) from exc
+    if not isinstance(data, dict):
+        raise PlanLoadError(f"plan payload must be a JSON object, got {type(data).__name__}", path)
     version = data.get("format_version")
     if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported plan format version {version!r}")
-    saved = data["workload"]
-    if saved["num_gpus"] != workload.num_gpus or saved["local_batch"] != workload.local_batch:
-        raise ValueError(
-            "workload shape mismatch: plan was searched for "
-            f"{saved['num_gpus']} GPUs x batch {saved['local_batch']}, got "
-            f"{workload.num_gpus} x {workload.local_batch}"
+        raise PlanLoadError(f"unsupported plan format version {version!r}", path)
+    try:
+        saved = data["workload"]
+        if saved["num_gpus"] != workload.num_gpus or saved["local_batch"] != workload.local_batch:
+            raise PlanLoadError(
+                "workload shape mismatch: plan was searched for "
+                f"{saved['num_gpus']} GPUs x batch {saved['local_batch']}, got "
+                f"{workload.num_gpus} x {workload.local_batch}",
+                path,
+            )
+        m = data["mapping"]
+        mapping = GraphMapping(
+            strategy=m["strategy"],
+            num_gpus=m["num_gpus"],
+            placements={k: [tuple(p) for p in v] for k, v in m["placements"].items()},
+            input_comm_bytes=m["input_comm_bytes"],
+            input_comm_transfers=m["input_comm_transfers"],
         )
-    m = data["mapping"]
-    mapping = GraphMapping(
-        strategy=m["strategy"],
-        num_gpus=m["num_gpus"],
-        placements={k: [tuple(p) for p in v] for k, v in m["placements"].items()},
-        input_comm_bytes=m["input_comm_bytes"],
-        input_comm_transfers=m["input_comm_transfers"],
-    )
-    assignments = [
-        {int(idx): [_kernel_from_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
-        for per_gpu in data["assignments_per_gpu"]
-    ]
-    trailing = [
-        [_kernel_from_dict(k) for k in kernels] for kernels in data["trailing_per_gpu"]
-    ]
-    prep = [DataPreparation(**p) for p in data["data_prep_per_gpu"]]
+        assignments = [
+            {int(idx): [_kernel_from_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
+            for per_gpu in data["assignments_per_gpu"]
+        ]
+        trailing = [
+            [_kernel_from_dict(k) for k in kernels] for kernels in data["trailing_per_gpu"]
+        ]
+        prep = [DataPreparation(**p) for p in data["data_prep_per_gpu"]]
+        fusion_enabled = data["fusion_enabled"]
+        interleaving_enabled = data["interleaving_enabled"]
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise PlanLoadError(f"plan payload is missing or malformed: {exc}", path) from exc
     evaluation = MappingEvaluation(mapping=mapping, schedules=[], comm_us=0.0)
     return RapPlan(
         workload=workload,
@@ -140,6 +189,42 @@ def plan_from_json(
         assignments_per_gpu=assignments,
         trailing_per_gpu=trailing,
         data_prep_per_gpu=prep,
-        fusion_enabled=data["fusion_enabled"],
-        interleaving_enabled=data["interleaving_enabled"],
+        fusion_enabled=fusion_enabled,
+        interleaving_enabled=interleaving_enabled,
     )
+
+
+def load_plan(
+    path: str | Path,
+    workload: TrainingWorkload,
+    graph_set: GraphSet,
+) -> RapPlan:
+    """Load a plan artifact from disk, wrapping I/O failures uniformly."""
+    try:
+        source = Path(path).read_text()
+    except OSError as exc:
+        raise PlanLoadError(f"cannot read plan file ({exc.strerror or exc})", path) from exc
+    return plan_from_json(source, workload, graph_set, path=path)
+
+
+def save_plan(
+    path: str | Path,
+    plan: RapPlan,
+    resilience: Mapping[str, Any] | None = None,
+) -> None:
+    """Write a plan (optionally with its resilience report) to disk."""
+    Path(path).write_text(plan_to_json(plan, resilience=resilience))
+
+
+def resilience_from_json(source: str, path: str | Path | None = None) -> dict[str, Any] | None:
+    """The embedded resilience payload of a serialized plan, if any."""
+    try:
+        data = json.loads(source)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"plan file is not valid JSON ({exc})", path) from exc
+    if not isinstance(data, dict):
+        raise PlanLoadError(f"plan payload must be a JSON object, got {type(data).__name__}", path)
+    resilience = data.get("resilience")
+    if resilience is not None and not isinstance(resilience, dict):
+        raise PlanLoadError("resilience payload must be a JSON object", path)
+    return resilience

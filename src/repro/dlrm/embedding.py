@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .model import DLRMConfig, EmbeddingTableConfig
+from .model import DLRMConfig
 
 __all__ = ["EmbeddingPlacement", "place_tables"]
 

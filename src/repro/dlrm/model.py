@@ -10,7 +10,7 @@ and :mod:`repro.dlrm.stages` lowers it to resource profiles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..preprocessing.data import CriteoSchema, KAGGLE_SCHEMA, TERABYTE_SCHEMA
 from ..preprocessing.graph import DENSE_CONSUMER, GraphSet

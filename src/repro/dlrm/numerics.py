@@ -104,7 +104,7 @@ class Mlp:
 
     @property
     def num_params(self) -> int:
-        return sum(l.num_params for l in self.layers)
+        return sum(layer.num_params for layer in self.layers)
 
 
 class EmbeddingBag:

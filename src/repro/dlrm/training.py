@@ -92,6 +92,7 @@ class TrainingWorkload:
         input_comm_bytes: float = 0.0,
         input_comm_transfers: int = 1,
         policy: CoRunPolicy = RAP_POLICY,
+        recovery_us_per_gpu: Sequence[float] | None = None,
     ) -> ClusterIterationResult:
         """Simulate one iteration co-running the given preprocessing kernels."""
         return self.cluster.simulate_iteration(
@@ -101,6 +102,7 @@ class TrainingWorkload:
             input_comm_bytes=input_comm_bytes,
             input_comm_transfers=input_comm_transfers,
             policy=policy,
+            recovery_us_per_gpu=recovery_us_per_gpu,
         )
 
     def throughput_from_iteration(self, iteration_us: float) -> float:

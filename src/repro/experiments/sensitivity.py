@@ -17,7 +17,7 @@ from dataclasses import replace
 from ..baselines import run_mps_baseline, run_sequential_baseline
 from ..core import RapPlanner
 from ..dlrm import DEFAULT_CALIBRATION, TrainingWorkload, model_for_plan
-from ..gpusim import A100_SPEC, GpuSpec, V100_SPEC
+from ..gpusim import A100_SPEC, V100_SPEC
 from ..preprocessing import build_plan
 from .reporting import format_table
 

@@ -22,20 +22,42 @@ __all__ = ["ClusterIterationResult", "MultiGpuCluster"]
 
 @dataclass
 class ClusterIterationResult:
-    """Aggregated outcome of one synchronous iteration across all GPUs."""
+    """Aggregated outcome of one synchronous iteration across all GPUs.
+
+    ``recovery_us_per_gpu`` is per-GPU fault-recovery wall time (failed
+    kernel re-runs, retry backoff) injected by a fault-tolerant runtime; it
+    extends that GPU's iteration before the bulk-synchronous barrier, so a
+    single recovering GPU stalls the whole cluster.
+    """
 
     iteration_time_us: float
     input_comm_us: float
     per_gpu: list[IterationResult] = field(default_factory=list)
+    recovery_us_per_gpu: list[float] = field(default_factory=list)
 
     @property
     def slowest_gpu(self) -> int:
-        times = [r.total_time_us for r in self.per_gpu]
+        times = [
+            r.total_time_us + rec
+            for r, rec in zip(self.per_gpu, self._recovery_padded())
+        ]
         return times.index(max(times)) if times else 0
 
     @property
     def max_exposed_preprocessing_us(self) -> float:
         return max((r.exposed_preprocessing_us for r in self.per_gpu), default=0.0)
+
+    @property
+    def max_recovery_us(self) -> float:
+        return max(self.recovery_us_per_gpu, default=0.0)
+
+    @property
+    def degraded(self) -> bool:
+        return self.max_recovery_us > 0.0
+
+    def _recovery_padded(self) -> list[float]:
+        pad = len(self.per_gpu) - len(self.recovery_us_per_gpu)
+        return list(self.recovery_us_per_gpu) + [0.0] * max(0, pad)
 
     def throughput_samples_per_s(self, batch_size: int) -> float:
         if self.iteration_time_us <= 0:
@@ -67,6 +89,7 @@ class MultiGpuCluster:
         input_comm_bytes: float = 0.0,
         input_comm_transfers: int = 1,
         policy: CoRunPolicy = RAP_POLICY,
+        recovery_us_per_gpu: Sequence[float] | None = None,
     ) -> ClusterIterationResult:
         """Simulate one bulk-synchronous iteration.
 
@@ -92,6 +115,11 @@ class MultiGpuCluster:
         trailing_per_gpu = trailing_per_gpu or [() for _ in range(self.num_gpus)]
         if len(assignments_per_gpu) != self.num_gpus or len(trailing_per_gpu) != self.num_gpus:
             raise ValueError("assignment lists must match the number of GPUs")
+        recovery = list(recovery_us_per_gpu) if recovery_us_per_gpu else [0.0] * self.num_gpus
+        if len(recovery) != self.num_gpus:
+            raise ValueError("recovery_us_per_gpu must match the number of GPUs")
+        if any(r < 0 for r in recovery):
+            raise ValueError("recovery times must be non-negative")
 
         results = [
             device.simulate_iteration(
@@ -107,9 +135,10 @@ class MultiGpuCluster:
         comm = self.interconnect.redistribution_us(
             input_comm_bytes, self.num_gpus, num_transfers=input_comm_transfers
         )
-        iteration = max(r.total_time_us for r in results) + comm
+        iteration = max(r.total_time_us + rec for r, rec in zip(results, recovery)) + comm
         return ClusterIterationResult(
             iteration_time_us=iteration,
             input_comm_us=comm,
             per_gpu=results,
+            recovery_us_per_gpu=recovery,
         )

@@ -14,7 +14,6 @@ human can inspect:
 from __future__ import annotations
 
 import json
-from typing import Sequence
 
 from .cluster import ClusterIterationResult
 from .device import IterationResult

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
-from .resources import GpuSpec, ResourceVector, warps_to_sm_fraction
+from .resources import GpuSpec, ResourceVector
 
 __all__ = ["KernelDesc", "fuse_kernels", "shard_kernel"]
 

@@ -14,7 +14,7 @@ utilization against a :class:`GpuSpec`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "GpuSpec",

@@ -22,7 +22,6 @@ Two solution paths:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -11,8 +11,8 @@ linear form by :mod:`repro.milp.linearize`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 

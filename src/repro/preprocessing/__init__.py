@@ -34,7 +34,16 @@ from .ops import (
 )
 from .graph import DENSE_CONSUMER, FeatureGraph, GraphSet
 from .plans import PLAN_TABLE, PlanSpec, build_plan, build_skewed_plan, table_for_sparse_feature
-from .executor import DataPreparation, estimate_data_preparation, execute_graph_set
+from .executor import (
+    DataPreparation,
+    KernelExecutionError,
+    KernelOOMError,
+    MissingColumnsError,
+    PreprocessingError,
+    WorkerPoolError,
+    estimate_data_preparation,
+    execute_graph_set,
+)
 from .random_plans import RandomPlanConfig, generate_random_plan
 
 __all__ = [
@@ -69,6 +78,11 @@ __all__ = [
     "build_skewed_plan",
     "table_for_sparse_feature",
     "DataPreparation",
+    "PreprocessingError",
+    "MissingColumnsError",
+    "KernelExecutionError",
+    "KernelOOMError",
+    "WorkerPoolError",
     "estimate_data_preparation",
     "execute_graph_set",
     "RandomPlanConfig",

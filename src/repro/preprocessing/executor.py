@@ -20,10 +20,58 @@ from ..gpusim.resources import GpuSpec, A100_SPEC
 from .data import Batch
 from .graph import FeatureGraph, GraphSet
 
-__all__ = ["DataPreparation", "execute_graph_set", "estimate_data_preparation"]
+__all__ = [
+    "DataPreparation",
+    "PreprocessingError",
+    "MissingColumnsError",
+    "KernelExecutionError",
+    "KernelOOMError",
+    "WorkerPoolError",
+    "execute_graph_set",
+    "estimate_data_preparation",
+]
 
 _ALLOC_US_PER_TENSOR = 2.0
 _HOST_DISPATCH_US_PER_OP = 5.0
+
+
+class PreprocessingError(RuntimeError):
+    """Base class for failures raised by the input-preprocessing pipeline.
+
+    The taxonomy below is shared with the fault-tolerant runtime
+    (:mod:`repro.runtime`), which injects and recovers from exactly these
+    failure classes; catching :class:`PreprocessingError` covers them all.
+    """
+
+
+class MissingColumnsError(PreprocessingError):
+    """The input batch lacks raw columns the graph set reads."""
+
+    def __init__(self, columns: list[str]) -> None:
+        self.columns = list(columns)
+        super().__init__(
+            "batch is missing raw input column(s) required by the graph set: "
+            + ", ".join(self.columns)
+        )
+
+
+class KernelExecutionError(PreprocessingError):
+    """A preprocessing kernel failed mid-execution (launch error, bad state)."""
+
+    def __init__(self, kernel: str, detail: str = "execution fault") -> None:
+        self.kernel = kernel
+        super().__init__(f"kernel {kernel!r} failed: {detail}")
+
+
+class KernelOOMError(KernelExecutionError):
+    """A (typically fused) kernel exceeded device memory."""
+
+    def __init__(self, kernel: str) -> None:
+        super().__init__(kernel, "out of device memory")
+
+
+class WorkerPoolError(PreprocessingError):
+    """The CPU preprocessing worker pool crashed or lost workers."""
 
 
 @dataclass(frozen=True)
@@ -50,6 +98,13 @@ def execute_graph_set(graph_set: GraphSet, batch: Batch) -> Batch:
         raise ValueError(
             f"batch has {work.size} rows but the graph set was built for {graph_set.rows}"
         )
+    available = set(work.dense) | set(work.sparse)
+    required: set[str] = set()
+    for graph in graph_set:
+        required.update(graph.raw_inputs())
+    missing = sorted(required - available)
+    if missing:
+        raise MissingColumnsError(missing)
     graph_set.execute(work)
     return work
 

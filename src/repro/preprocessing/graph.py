@@ -10,7 +10,7 @@ input batch: the unit the mapping and scheduling machinery operates on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import networkx as nx

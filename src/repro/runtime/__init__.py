@@ -1,0 +1,67 @@
+"""Fault-tolerant execution layer over searched co-running plans.
+
+The planner (:mod:`repro.core`) answers "what is the best placement"; this
+package answers "what happens when that placement's assumptions break".
+It provides deterministic fault injection, retry with backoff and
+per-stage deadlines, the five-rung graceful-degradation ladder
+(co-run -> shard-retry -> trailing -> sequential -> CPU fallback), a
+latency watchdog that regenerates stale plans, and the structured
+:class:`ResilienceReport` the CLI renders and serializes.
+"""
+
+from .executor import POOL_RESTART_BASE_US, FaultTolerantRuntime, KernelRecovery
+from .faults import (
+    CPU_POOL_CRASH,
+    FAULT_KINDS,
+    FUSED_OOM,
+    KERNEL_FAILURE,
+    KERNEL_FAULT_KINDS,
+    LATENCY_OVERRUN,
+    PLAN_DRIFT,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
+from .ladder import (
+    CO_RUN,
+    CPU_FALLBACK,
+    LADDER,
+    SEQUENTIAL,
+    SHARD_RETRY,
+    TRAILING,
+    LadderTransition,
+    next_rung,
+)
+from .report import IterationRecord, ResilienceReport
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .watchdog import LatencyWatchdog, WatchdogDecision
+
+__all__ = [
+    "FaultTolerantRuntime",
+    "KernelRecovery",
+    "POOL_RESTART_BASE_US",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "KERNEL_FAULT_KINDS",
+    "KERNEL_FAILURE",
+    "LATENCY_OVERRUN",
+    "FUSED_OOM",
+    "CPU_POOL_CRASH",
+    "PLAN_DRIFT",
+    "LADDER",
+    "CO_RUN",
+    "SHARD_RETRY",
+    "TRAILING",
+    "SEQUENTIAL",
+    "CPU_FALLBACK",
+    "next_rung",
+    "LadderTransition",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "LatencyWatchdog",
+    "WatchdogDecision",
+    "IterationRecord",
+    "ResilienceReport",
+]

@@ -1,0 +1,500 @@
+"""The fault-tolerant co-running runtime.
+
+:class:`FaultTolerantRuntime` wraps a searched :class:`repro.core.RapPlan`
+with the machinery a production input pipeline needs when the plan's
+assumptions break mid-iteration: deterministic fault injection
+(:mod:`repro.runtime.faults`), in-place retry with exponential backoff and
+per-stage deadlines (:mod:`repro.runtime.retry`), the graceful-degradation
+ladder (:mod:`repro.runtime.ladder`), and a latency watchdog that triggers
+plan regeneration when measured exposure drifts away from the prediction
+(:mod:`repro.runtime.watchdog`).
+
+Recovery is priced, never hand-waved: failed attempts waste their own wall
+time, backoff pauses stall the bulk-synchronous cluster, demoted kernels
+surface as exposed latency, and CPU-evicted kernels pace the iteration
+through the hybrid worker pool. With injection disabled the runtime is a
+transparent shim: its iteration numbers are bit-identical to
+:meth:`repro.core.RapPlanner.evaluate` on the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.torcharrow import CpuWorkerPool
+from ..core.adaptation import drift_graph_set, scale_plan_kernels
+from ..core.fusion import fit_kernel_to_leftover, shard_by_latency
+from ..core.hybrid import cpu_fallback_production_us, degraded_pool
+from ..core.planner import RapPlan, RapPlanner
+from ..gpusim.kernel import KernelDesc
+from ..preprocessing.executor import DataPreparation
+from ..preprocessing.graph import GraphSet
+from .faults import (
+    CPU_POOL_CRASH,
+    FUSED_OOM,
+    KERNEL_FAILURE,
+    LATENCY_OVERRUN,
+    PLAN_DRIFT,
+    FaultEvent,
+    FaultInjector,
+)
+from .ladder import (
+    CO_RUN,
+    CPU_FALLBACK,
+    SEQUENTIAL,
+    SHARD_RETRY,
+    TRAILING,
+    LadderTransition,
+)
+from .report import IterationRecord, ResilienceReport
+from .retry import RetryPolicy
+from .watchdog import LatencyWatchdog
+
+__all__ = ["KernelRecovery", "FaultTolerantRuntime", "POOL_RESTART_BASE_US"]
+
+#: Host-side worker-pool restart latency per unit of crash magnitude.
+POOL_RESTART_BASE_US = 1_000.0
+
+#: Fraction of a stage's leftover resources offered to re-sharded pieces;
+#: recovering at reduced footprint is what sidesteps OOM-like faults.
+_RESHARD_LEFTOVER_FRACTION = 0.5
+
+
+@dataclass
+class KernelRecovery:
+    """The full recovery story of one injected kernel fault."""
+
+    event: FaultEvent
+    final_rung: str = CO_RUN
+    retries: int = 0
+    backoff_us: float = 0.0
+    wasted_us: float = 0.0
+    transitions: list[LadderTransition] = field(default_factory=list)
+    cpu_kernels: list[KernelDesc] = field(default_factory=list)
+
+    @property
+    def recovery_us(self) -> float:
+        return self.backoff_us + self.wasted_us
+
+
+class FaultTolerantRuntime:
+    """Executes plans under injected faults, degrading instead of crashing."""
+
+    def __init__(
+        self,
+        planner: RapPlanner,
+        graph_set: GraphSet,
+        plan: RapPlan | None = None,
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        watchdog: LatencyWatchdog | None = None,
+        pool: CpuWorkerPool | None = None,
+        sequential_fault_threshold: int = 3,
+    ) -> None:
+        if sequential_fault_threshold < 1:
+            raise ValueError("sequential_fault_threshold must be >= 1")
+        self.planner = planner
+        self.graph_set = graph_set
+        self.plan = plan if plan is not None else planner.plan(graph_set)
+        self.injector = injector or FaultInjector()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.watchdog = watchdog or LatencyWatchdog()
+        self.pool = pool or CpuWorkerPool()
+        self.sequential_fault_threshold = sequential_fault_threshold
+        # Drift of the live distribution relative to the *active* plan's
+        # graph set, and cumulatively relative to the base graph set.
+        self._scale = 1.0
+        self._total_scale = 1.0
+        # Kernels persistently evicted to the host pool.
+        self._cpu_kernels: list[KernelDesc] = []
+
+    @property
+    def workload(self):
+        return self.planner.workload
+
+    @property
+    def cpu_evicted(self) -> list[KernelDesc]:
+        return list(self._cpu_kernels)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self, num_iterations: int, start_iteration: int = 0) -> ResilienceReport:
+        """Execute ``num_iterations`` iterations, accumulating the report."""
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        report = ResilienceReport()
+        for i in range(start_iteration, start_iteration + num_iterations):
+            record, faults, transitions = self.run_iteration(i)
+            report.iterations.append(record)
+            report.faults.extend(faults)
+            report.transitions.extend(transitions)
+            report.retries += record.retries
+            report.backoff_total_us += record.backoff_us
+            report.replans += int(record.replanned)
+        return report
+
+    def run_iteration(
+        self, iteration: int
+    ) -> tuple[IterationRecord, list[FaultEvent], list[LadderTransition]]:
+        """Execute one iteration under whatever faults the injector draws."""
+        faults = self.injector.faults_for_iteration(iteration, self.plan)
+
+        if not faults and self._scale == 1.0 and not self._cpu_kernels:
+            # Transparent path: nothing failed, nothing drifted, nothing
+            # evicted -- defer to the planner's own evaluation so the
+            # wrapped numbers are bit-identical to direct execution.
+            report = self.planner.evaluate(self.plan)
+            record = IterationRecord(
+                iteration=iteration,
+                iteration_us=report.iteration_us,
+                exposed_us=report.exposed_preprocessing_us,
+            )
+            decision = self.watchdog.observe(
+                self.plan.predicted_exposed_us, report.exposed_preprocessing_us, 0
+            )
+            if decision.replan:
+                self._replan()
+                record = IterationRecord(**{**record.to_dict(), "replanned": True})
+            return record, [], []
+
+        return self._run_degraded(iteration, faults)
+
+    # ------------------------------------------------------------------
+    # Degraded execution
+    # ------------------------------------------------------------------
+
+    def _run_degraded(
+        self, iteration: int, faults: list[FaultEvent]
+    ) -> tuple[IterationRecord, list[FaultEvent], list[LadderTransition]]:
+        num_gpus = self.workload.num_gpus
+        transitions: list[LadderTransition] = []
+        pool_restart_us = 0.0
+        pool_fraction = 1.0
+
+        # Environment faults first: they shape the iteration every kernel
+        # fault then lands in.
+        for event in faults:
+            if event.kind == PLAN_DRIFT:
+                self._scale *= event.magnitude
+                self._total_scale *= event.magnitude
+            elif event.kind == CPU_POOL_CRASH:
+                pool_restart_us += event.magnitude * POOL_RESTART_BASE_US
+                pool_fraction = min(pool_fraction, 0.5)
+
+        assignments, trailing = scale_plan_kernels(self.plan, self._scale)
+        recovery = [0.0] * num_gpus
+        retries = 0
+        backoff_us = 0.0
+        faults_per_gpu = [0] * num_gpus
+
+        for event in faults:
+            if event.kind not in (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM):
+                continue
+            if not 0 <= event.gpu < num_gpus:
+                continue
+            faults_per_gpu[event.gpu] += 1
+            rec = self._recover_kernel(event, assignments[event.gpu], trailing[event.gpu])
+            retries += rec.retries
+            backoff_us += rec.backoff_us
+            recovery[event.gpu] += rec.recovery_us
+            transitions.extend(rec.transitions)
+            self._cpu_kernels.extend(rec.cpu_kernels)
+
+        # Sequential fallback: a GPU absorbing too many kernel faults in a
+        # single iteration abandons co-running entirely for that iteration
+        # -- every remaining placed kernel runs exposed, where it cannot
+        # perturb training.
+        for gpu in range(num_gpus):
+            if faults_per_gpu[gpu] < self.sequential_fault_threshold:
+                continue
+            demoted = [k for stage in sorted(assignments[gpu]) for k in assignments[gpu][stage]]
+            if not demoted:
+                continue
+            assignments[gpu] = {}
+            trailing[gpu] = demoted + trailing[gpu]
+            transitions.append(
+                LadderTransition(
+                    iteration=iteration,
+                    gpu=gpu,
+                    kernel="*",
+                    from_rung=CO_RUN,
+                    to_rung=SEQUENTIAL,
+                    reason=f"{faults_per_gpu[gpu]} faults in one iteration; "
+                    "co-running suspended for safety",
+                )
+            )
+
+        result = self.workload.simulate(
+            assignments_per_gpu=assignments,
+            trailing_per_gpu=trailing,
+            input_comm_bytes=self.plan.input_comm_bytes,
+            input_comm_transfers=max(1, self.plan.input_comm_transfers),
+            recovery_us_per_gpu=recovery,
+        )
+        prep = max(
+            self.plan.data_prep_per_gpu,
+            key=lambda p: p.total_us,
+            default=DataPreparation(0.0, 0.0, 0.0),
+        )
+        timeline = self.planner.interleaver.steady_state(result.iteration_time_us, prep)
+
+        pool = degraded_pool(self.pool, pool_fraction) if pool_fraction < 1.0 else self.pool
+        cpu_us = cpu_fallback_production_us(pool, self._cpu_kernels, num_gpus) + pool_restart_us
+        iteration_us = max(timeline.iteration_us, cpu_us)
+        exposed_us = result.max_exposed_preprocessing_us + result.max_recovery_us
+
+        decision = self.watchdog.observe(
+            self.plan.predicted_exposed_us, exposed_us, len(faults)
+        )
+        if decision.replan:
+            self._replan()
+
+        record = IterationRecord(
+            iteration=iteration,
+            iteration_us=iteration_us,
+            exposed_us=exposed_us,
+            num_faults=len(faults),
+            retries=retries,
+            backoff_us=backoff_us,
+            recovery_us=sum(recovery),
+            cpu_fallback_us=cpu_us,
+            replanned=decision.replan,
+        )
+        return record, faults, transitions
+
+    def _replan(self) -> None:
+        """Regenerate the plan for the live (possibly drifted) distribution."""
+        drifted = drift_graph_set(self.graph_set, self._total_scale)
+        self.plan = self.planner.plan(drifted)
+        self._scale = 1.0
+        self._cpu_kernels.clear()
+        self.watchdog.reset()
+
+    # ------------------------------------------------------------------
+    # Single-kernel recovery ladder
+    # ------------------------------------------------------------------
+
+    def _recover_kernel(
+        self,
+        event: FaultEvent,
+        assignments: dict[int, list[KernelDesc]],
+        trailing: list[KernelDesc],
+    ) -> KernelRecovery:
+        """Walk one faulted kernel down the degradation ladder."""
+        rec = KernelRecovery(event=event)
+        site = self._pop_kernel(event, assignments, trailing)
+        if site is None:
+            return rec
+        kernel, stage_idx = site
+        stages = self.workload.stages_for_gpu(event.gpu)
+        if 0 <= stage_idx < len(stages):
+            stage = stages[stage_idx]
+            stage_duration = stage.duration_us
+        else:
+            stage = None
+            stage_duration = sum(s.duration_us for s in stages)
+
+        if event.kind == LATENCY_OVERRUN:
+            self._recover_overrun(rec, kernel, stage_idx, stage, assignments, trailing)
+        elif event.kind == FUSED_OOM:
+            self._recover_oom(rec, kernel, stage_idx, stage, assignments, trailing)
+        else:
+            self._recover_failure(
+                rec, kernel, stage_idx, stage, stage_duration, assignments, trailing
+            )
+        return rec
+
+    def _pop_kernel(
+        self,
+        event: FaultEvent,
+        assignments: dict[int, list[KernelDesc]],
+        trailing: list[KernelDesc],
+    ) -> tuple[KernelDesc, int] | None:
+        """Remove the event's target kernel from its placement site."""
+        if event.stage >= 0:
+            kernels = assignments.get(event.stage, [])
+            for i, k in enumerate(kernels):
+                if k.name == event.kernel:
+                    return kernels.pop(i), event.stage
+        for i, k in enumerate(trailing):
+            if k.name == event.kernel:
+                return trailing.pop(i), -1
+        # Fall back to any stage (the plan may have shifted since the event
+        # was drawn, e.g. after a replan earlier in the run).
+        for stage_idx in sorted(assignments):
+            kernels = assignments[stage_idx]
+            for i, k in enumerate(kernels):
+                if k.name == event.kernel:
+                    return kernels.pop(i), stage_idx
+        return None
+
+    def _stage_budget_us(self, stage, stage_idx: int, assignments) -> float:
+        """Leftover overlapping-capacity budget of a stage, after cohabitants."""
+        capacity = self.planner.cost_model.stage_capacity(stage)
+        used = sum(
+            self.planner.cost_model.kernel_latency(k)
+            for k in assignments.get(stage_idx, [])
+        )
+        return max(0.0, capacity - used)
+
+    def _transition(
+        self, rec: KernelRecovery, from_rung: str, to_rung: str, reason: str
+    ) -> None:
+        rec.transitions.append(
+            LadderTransition(
+                iteration=rec.event.iteration,
+                gpu=rec.event.gpu,
+                kernel=rec.event.kernel,
+                from_rung=from_rung,
+                to_rung=to_rung,
+                reason=reason,
+            )
+        )
+        rec.final_rung = to_rung
+
+    # -- fault-class handlers ------------------------------------------
+
+    def _recover_overrun(
+        self, rec, kernel, stage_idx, stage, assignments, trailing
+    ) -> None:
+        """A kernel running longer than predicted may no longer fit its stage."""
+        inflated = kernel.with_duration(kernel.duration_us * rec.event.magnitude)
+        if stage is None:
+            # Trailing work cannot overrun a budget; the exposure just grows.
+            trailing.append(inflated)
+            return
+        budget = self._stage_budget_us(stage, stage_idx, assignments)
+        if self.planner.cost_model.kernel_latency(inflated) <= budget:
+            assignments.setdefault(stage_idx, []).append(inflated)
+            return
+        shards = shard_by_latency(inflated, budget)
+        if shards is not None:
+            first, remainder = shards
+            assignments.setdefault(stage_idx, []).append(first)
+            trailing.append(remainder)
+            self._transition(
+                rec,
+                CO_RUN,
+                SHARD_RETRY,
+                f"overran stage budget ({inflated.duration_us:.0f} us > "
+                f"{budget:.0f} us); re-sharded",
+            )
+            self._transition(rec, SHARD_RETRY, TRAILING, "remainder shard demoted to exposed")
+        else:
+            trailing.append(inflated)
+            self._transition(
+                rec, CO_RUN, TRAILING, "overran stage budget and is unshardable; demoted"
+            )
+
+    def _recover_oom(self, rec, kernel, stage_idx, stage, assignments, trailing) -> None:
+        """A fused kernel exceeding device memory recovers at lower degree."""
+        persistent = rec.event.recover_after == -1
+        members = list(kernel.meta.get("member_kernels", ())) if kernel.meta else []
+        if not persistent:
+            if len(members) >= 2 and stage is not None:
+                # De-fuse: each member has a fraction of the fused footprint.
+                assignments.setdefault(stage_idx, []).extend(members)
+                rec.wasted_us += kernel.duration_us  # the OOM'd launch itself
+                self._transition(
+                    rec,
+                    CO_RUN,
+                    SHARD_RETRY,
+                    f"fused OOM; de-fused into {len(members)} member kernel(s)",
+                )
+                return
+            pieces = (
+                fit_kernel_to_leftover(
+                    kernel,
+                    stage.leftover().scale(_RESHARD_LEFTOVER_FRACTION),
+                    self.workload.spec,
+                )
+                if stage is not None
+                else None
+            )
+            if pieces is not None:
+                assignments.setdefault(stage_idx, []).extend(pieces)
+                rec.wasted_us += kernel.duration_us
+                self._transition(
+                    rec, CO_RUN, SHARD_RETRY, f"OOM; re-sharded into {len(pieces)} piece(s)"
+                )
+                return
+            trailing.append(kernel)
+            rec.wasted_us += kernel.duration_us
+            self._transition(rec, CO_RUN, TRAILING, "OOM and unshardable; demoted to exposed")
+            return
+        # Persistent OOM: no on-GPU shape survives; record the full descent.
+        rec.wasted_us += kernel.duration_us
+        self._transition(rec, CO_RUN, SHARD_RETRY, "persistent OOM; de-fuse attempted")
+        self._transition(rec, SHARD_RETRY, TRAILING, "members still OOM exposed")
+        self._transition(rec, TRAILING, SEQUENTIAL, "OOM with device otherwise idle")
+        self._transition(rec, SEQUENTIAL, CPU_FALLBACK, "evicted to host worker pool")
+        rec.cpu_kernels.extend(members if members else [kernel])
+
+    def _recover_failure(
+        self, rec, kernel, stage_idx, stage, stage_duration, assignments, trailing
+    ) -> None:
+        """A failing kernel retries in place, then descends the ladder."""
+        policy = self.retry_policy
+        depth = rec.event.recover_after
+        allowed = policy.attempts_within(stage_duration, kernel.duration_us)
+
+        if 0 < depth <= allowed:
+            # Recovered in place: depth failed attempts, then success.
+            rec.retries = depth
+            rec.wasted_us += depth * kernel.duration_us
+            rec.backoff_us += sum(policy.backoff_us(i) for i in range(depth))
+            self._restore(kernel, stage_idx, assignments, trailing)
+            return
+
+        rec.retries = allowed
+        rec.wasted_us += allowed * kernel.duration_us
+        rec.backoff_us += sum(policy.backoff_us(i) for i in range(allowed))
+
+        persistent = depth == -1
+        if not persistent and stage is not None:
+            pieces = fit_kernel_to_leftover(
+                kernel,
+                stage.leftover().scale(_RESHARD_LEFTOVER_FRACTION),
+                self.workload.spec,
+            )
+            if pieces is not None:
+                assignments.setdefault(stage_idx, []).extend(pieces)
+                self._transition(
+                    rec,
+                    CO_RUN,
+                    SHARD_RETRY,
+                    f"retries exhausted ({allowed}); re-sharded into {len(pieces)} piece(s)",
+                )
+                return
+
+        self._transition(
+            rec,
+            CO_RUN if not rec.transitions else rec.final_rung,
+            TRAILING,
+            "retries exhausted; demoted to exposed work",
+        )
+        if not persistent:
+            trailing.append(kernel)
+            return
+        # Persistent: trailing and sequential isolation both fail too.
+        rec.wasted_us += kernel.duration_us
+        self._transition(rec, TRAILING, SEQUENTIAL, "still failing while exposed; isolated")
+        rec.wasted_us += kernel.duration_us
+        self._transition(
+            rec, SEQUENTIAL, CPU_FALLBACK, "fails even standalone; evicted to host pool"
+        )
+        rec.cpu_kernels.append(kernel)
+
+    def _restore(
+        self,
+        kernel: KernelDesc,
+        stage_idx: int,
+        assignments: dict[int, list[KernelDesc]],
+        trailing: list[KernelDesc],
+    ) -> None:
+        if stage_idx >= 0:
+            assignments.setdefault(stage_idx, []).append(kernel)
+        else:
+            trailing.append(kernel)

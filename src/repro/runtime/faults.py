@@ -1,0 +1,239 @@
+"""Deterministic, seeded fault injection for plan execution.
+
+The searched plan is only correct while its assumptions hold; production
+input pipelines treat kernel failures, latency overruns, OOMs, worker
+crashes, and input drift as first-class events rather than exceptions.
+This module decides *what goes wrong when*: given a seed and an iteration
+index, :class:`FaultInjector` draws a reproducible set of
+:class:`FaultEvent` objects against a concrete plan's kernel placement.
+
+Determinism contract: the events for ``(seed, iteration, plan placement)``
+are a pure function -- re-running a workload with the same seed replays
+the exact same fault schedule, which is what makes resilience regressions
+bisectable. The per-iteration RNG is derived from a string seed, so the
+stream is independent of Python hash randomization.
+
+The fault classes mirror the error taxonomy of
+:mod:`repro.preprocessing.executor`; :data:`FAULT_EXCEPTIONS` maps each
+kind to the exception a real execution backend would raise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.planner import RapPlan
+from ..preprocessing.executor import (
+    KernelExecutionError,
+    KernelOOMError,
+    PreprocessingError,
+    WorkerPoolError,
+)
+
+__all__ = [
+    "KERNEL_FAILURE",
+    "LATENCY_OVERRUN",
+    "FUSED_OOM",
+    "CPU_POOL_CRASH",
+    "PLAN_DRIFT",
+    "FAULT_KINDS",
+    "FAULT_EXCEPTIONS",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultInjector",
+]
+
+KERNEL_FAILURE = "kernel_failure"
+LATENCY_OVERRUN = "latency_overrun"
+FUSED_OOM = "fused_oom"
+CPU_POOL_CRASH = "cpu_pool_crash"
+PLAN_DRIFT = "plan_drift"
+
+FAULT_KINDS = (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM, CPU_POOL_CRASH, PLAN_DRIFT)
+
+#: Kinds that target one placed kernel (as opposed to the host or the plan).
+KERNEL_FAULT_KINDS = (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM)
+
+FAULT_EXCEPTIONS: dict[str, type[PreprocessingError]] = {
+    KERNEL_FAILURE: KernelExecutionError,
+    LATENCY_OVERRUN: KernelExecutionError,
+    FUSED_OOM: KernelOOMError,
+    CPU_POOL_CRASH: WorkerPoolError,
+    PLAN_DRIFT: PreprocessingError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injection parameters for one fault class.
+
+    ``rate`` is the per-iteration probability of one event of this kind.
+    ``magnitude`` is kind-specific: the latency inflation factor for
+    overruns, the drift scale step for plan drift, and the restart latency
+    multiplier for pool crashes. ``persistence`` is the probability that an
+    injected fault resists *every* same-placement recovery attempt and
+    forces the full descent of the degradation ladder.
+    """
+
+    kind: str
+    rate: float
+    magnitude: float = 2.0
+    persistence: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be a probability in [0, 1]")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        if not 0.0 <= self.persistence <= 1.0:
+            raise ValueError("persistence must be a probability in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, bound to a concrete target.
+
+    ``stage`` is the training-stage index hosting the kernel (-1 for
+    trailing kernels and non-kernel faults). ``recover_after`` encodes the
+    injected failure's depth: a retry of the same placement succeeds after
+    that many failed attempts, and ``-1`` marks a persistent fault that no
+    GPU placement survives (the ladder must fall through to CPU fallback).
+    """
+
+    kind: str
+    iteration: int
+    gpu: int = -1
+    stage: int = -1
+    kernel: str = ""
+    magnitude: float = 1.0
+    recover_after: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "gpu": self.gpu,
+            "stage": self.stage,
+            "kernel": self.kernel,
+            "magnitude": self.magnitude,
+            "recover_after": self.recover_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(**data)
+
+
+def _kernel_sites(plan: RapPlan, include_trailing: bool) -> list[tuple[int, int, str]]:
+    """Every (gpu, stage, kernel-name) placement site in the plan."""
+    sites: list[tuple[int, int, str]] = []
+    for gpu, per_gpu in enumerate(plan.assignments_per_gpu):
+        for stage in sorted(per_gpu):
+            for kernel in per_gpu[stage]:
+                sites.append((gpu, stage, kernel.name))
+    if include_trailing:
+        for gpu, kernels in enumerate(plan.trailing_per_gpu):
+            for kernel in kernels:
+                sites.append((gpu, -1, kernel.name))
+    return sites
+
+
+def _fused_sites(plan: RapPlan) -> list[tuple[int, int, str]]:
+    """Placement sites holding fused kernels (OOM's preferred victims)."""
+    sites: list[tuple[int, int, str]] = []
+    for gpu, per_gpu in enumerate(plan.assignments_per_gpu):
+        for stage in sorted(per_gpu):
+            for kernel in per_gpu[stage]:
+                if int(kernel.meta.get("members", 1)) > 1:
+                    sites.append((gpu, stage, kernel.name))
+    return sites
+
+
+@dataclass
+class FaultInjector:
+    """Draws a deterministic fault schedule against a plan, per iteration."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.specs = tuple(self.specs)
+        kinds = [s.kind for s in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError("at most one FaultSpec per fault kind")
+
+    @property
+    def enabled(self) -> bool:
+        return any(spec.rate > 0 for spec in self.specs)
+
+    # ------------------------------------------------------------------
+
+    def _rng(self, iteration: int) -> random.Random:
+        # String seeding goes through a stable hash in CPython, so the
+        # stream survives PYTHONHASHSEED and process restarts.
+        return random.Random(f"rap-fault:{self.seed}:{iteration}")
+
+    def faults_for_iteration(self, iteration: int, plan: RapPlan) -> list[FaultEvent]:
+        """The fault schedule for one iteration of one plan."""
+        events: list[FaultEvent] = []
+        if not self.enabled:
+            return events
+        rng = self._rng(iteration)
+        for spec in self.specs:
+            if rng.random() >= spec.rate:
+                continue
+            event = self._draw_event(rng, spec, iteration, plan)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _draw_event(
+        self,
+        rng: random.Random,
+        spec: FaultSpec,
+        iteration: int,
+        plan: RapPlan,
+    ) -> FaultEvent | None:
+        if spec.kind == CPU_POOL_CRASH:
+            return FaultEvent(
+                kind=spec.kind,
+                iteration=iteration,
+                magnitude=spec.magnitude,
+                recover_after=1,
+            )
+        if spec.kind == PLAN_DRIFT:
+            # Drift a step up or down; magnitude bounds the step factor.
+            direction = 1.0 if rng.random() < 0.5 else -1.0
+            step = spec.magnitude ** direction
+            return FaultEvent(
+                kind=spec.kind,
+                iteration=iteration,
+                magnitude=step,
+                recover_after=0,
+            )
+
+        if spec.kind == FUSED_OOM:
+            sites = _fused_sites(plan) or _kernel_sites(plan, include_trailing=False)
+        else:
+            sites = _kernel_sites(plan, include_trailing=spec.kind == KERNEL_FAILURE)
+        if not sites:
+            return None
+        gpu, stage, kernel = sites[rng.randrange(len(sites))]
+        if rng.random() < spec.persistence:
+            recover_after = -1
+        else:
+            # Depth of the failure: 1-2 recovers under in-place retry, 3+
+            # exhausts the default retry budget and exercises re-sharding.
+            recover_after = 1 + rng.randrange(4)
+        return FaultEvent(
+            kind=spec.kind,
+            iteration=iteration,
+            gpu=gpu,
+            stage=stage,
+            kernel=kernel,
+            magnitude=spec.magnitude,
+            recover_after=recover_after,
+        )

@@ -1,0 +1,74 @@
+"""Retry policy: exponential backoff with per-stage deadlines.
+
+A failed kernel is retried in place before any demotion, but retries are
+not free: each failed attempt wastes the kernel's own wall time, and each
+backoff pause stalls the GPU's iteration (the cluster is bulk-synchronous,
+so one recovering GPU stalls them all). The per-stage deadline caps how
+much recovery time a single placement may burn relative to its host
+stage's overlapping capacity -- beyond it the runtime stops retrying and
+demotes down the degradation ladder instead, mirroring how tf.data-service
+style pipelines bound head-of-line blocking from a sick worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for one placement rung.
+
+    ``max_attempts`` bounds retries of the same placement;
+    ``stage_deadline_fraction`` additionally bounds the *time* spent
+    recovering at a stage to a fraction of that stage's duration, whichever
+    limit hits first.
+    """
+
+    max_attempts: int = 2
+    base_backoff_us: float = 25.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 5_000.0
+    stage_deadline_fraction: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be non-negative")
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.stage_deadline_fraction <= 0:
+            raise ValueError("stage_deadline_fraction must be positive")
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.max_backoff_us, self.base_backoff_us * self.backoff_multiplier**attempt)
+
+    def stage_deadline_us(self, stage_duration_us: float) -> float:
+        """Maximum recovery wall time budgeted against one stage."""
+        return self.stage_deadline_fraction * max(0.0, stage_duration_us)
+
+    def attempts_within(self, stage_duration_us: float, attempt_cost_us: float) -> int:
+        """How many retry attempts fit the stage deadline.
+
+        Each attempt costs one wasted kernel run plus its backoff pause;
+        the count is clipped to ``max_attempts``.
+        """
+        deadline = self.stage_deadline_us(stage_duration_us)
+        spent = 0.0
+        attempts = 0
+        while attempts < self.max_attempts:
+            cost = attempt_cost_us + self.backoff_us(attempts)
+            if spent + cost > deadline:
+                break
+            spent += cost
+            attempts += 1
+        return attempts
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()

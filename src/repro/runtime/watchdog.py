@@ -1,0 +1,105 @@
+"""Latency watchdog: decide when a plan is stale enough to replan.
+
+The plan search predicts the exposed preprocessing latency of its own
+placement; the runtime measures what actually happened. When the measured
+exposure persistently diverges from the prediction -- drifted inputs
+mis-sizing kernels against stage capacity (§10) -- or faults arrive faster
+than recovery can amortize, the watchdog asks for plan regeneration.
+
+The trigger is *edge*-triggered with a windowed signal: it fires once when
+the breach condition crosses the threshold and re-arms only after the
+signal returns below it (or after :meth:`reset` following a replan), so a
+sustained breach produces exactly one regeneration rather than one per
+iteration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["WatchdogDecision", "LatencyWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogDecision:
+    """Outcome of one watchdog observation."""
+
+    replan: bool
+    error: float
+    fault_rate: float
+    reason: str = ""
+
+
+@dataclass
+class LatencyWatchdog:
+    """Windowed, edge-triggered staleness detector for active plans.
+
+    ``error_threshold`` is the tolerated mean relative error between
+    predicted and measured exposed latency over the last ``window``
+    iterations; ``fault_rate_threshold`` is the tolerated mean number of
+    faults per iteration over the same window.
+    """
+
+    error_threshold: float = 0.5
+    fault_rate_threshold: float = 2.0
+    window: int = 4
+    _errors: deque = field(default_factory=deque, repr=False)
+    _faults: deque = field(default_factory=deque, repr=False)
+    _armed: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.error_threshold <= 0:
+            raise ValueError("error_threshold must be positive")
+        if self.fault_rate_threshold <= 0:
+            raise ValueError("fault_rate_threshold must be positive")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        predicted_exposed_us: float,
+        measured_exposed_us: float,
+        num_faults: int = 0,
+    ) -> WatchdogDecision:
+        """Feed one iteration's outcome; decide whether to replan."""
+        baseline = max(predicted_exposed_us, 1.0)
+        error = abs(measured_exposed_us - predicted_exposed_us) / baseline
+        self._errors.append(error)
+        self._faults.append(num_faults)
+        while len(self._errors) > self.window:
+            self._errors.popleft()
+        while len(self._faults) > self.window:
+            self._faults.popleft()
+
+        mean_error = sum(self._errors) / len(self._errors)
+        fault_rate = sum(self._faults) / len(self._faults)
+        reasons = []
+        if mean_error > self.error_threshold:
+            reasons.append(
+                f"exposed-latency error {mean_error:.2f} > {self.error_threshold:.2f}"
+            )
+        if fault_rate > self.fault_rate_threshold:
+            reasons.append(
+                f"fault rate {fault_rate:.2f}/iter > {self.fault_rate_threshold:.2f}"
+            )
+        breached = bool(reasons)
+        fire = breached and self._armed
+        if fire:
+            self._armed = False
+        elif not breached:
+            self._armed = True
+        return WatchdogDecision(
+            replan=fire,
+            error=mean_error,
+            fault_rate=fault_rate,
+            reason="; ".join(reasons),
+        )
+
+    def reset(self) -> None:
+        """Clear the window and re-arm (call after regenerating the plan)."""
+        self._errors.clear()
+        self._faults.clear()
+        self._armed = True

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines import (
-    BaselineReport,
     CpuWorkerPool,
     run_cuda_stream_baseline,
     run_mps_baseline,

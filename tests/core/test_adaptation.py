@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.adaptation import AdaptiveReplanner, drift_graph_set
+from repro.core.adaptation import AdaptiveReplanner, drift_graph_set, scale_plan_kernels
 from repro.dlrm import TrainingWorkload, model_for_plan
 from repro.preprocessing import build_plan
 
@@ -95,3 +95,117 @@ class TestAdaptiveReplanner:
         for scale in (1.0, 1.05, 2.0):
             replanner.observe(scale)
         assert len(replanner.events) == 3
+
+
+class TestDriftEdgeCases:
+    def test_rejects_negative_scale(self, setting):
+        graphs, _ = setting
+        with pytest.raises(ValueError):
+            drift_graph_set(graphs, -2.0)
+
+    def test_extreme_shrink_stays_valid(self, setting):
+        graphs, workload = setting
+        drifted = drift_graph_set(graphs, 1e-6)
+        assert len(drifted) == len(graphs)
+        assert drifted.standalone_latency_us(workload.spec) >= 0.0
+        for g in drifted:
+            assert g.avg_list_length > 0
+
+    def test_extreme_growth_stays_finite(self, setting):
+        graphs, workload = setting
+        drifted = drift_graph_set(graphs, 1e6)
+        latency = drifted.standalone_latency_us(workload.spec)
+        assert latency > graphs.standalone_latency_us(workload.spec)
+        assert latency < float("inf")
+
+    def test_preserves_structure(self, setting):
+        graphs, _ = setting
+        drifted = drift_graph_set(graphs, 2.5)
+        assert drifted.rows == graphs.rows
+        for before, after in zip(graphs, drifted):
+            assert after.name == before.name
+            assert after.ops is before.ops
+            assert after.consumer == before.consumer
+
+    def test_drift_composes(self, setting):
+        graphs, _ = setting
+        twice = drift_graph_set(drift_graph_set(graphs, 2.0), 3.0)
+        once = drift_graph_set(graphs, 6.0)
+        for a, b in zip(twice, once):
+            assert a.avg_list_length == pytest.approx(b.avg_list_length)
+
+
+class TestScalePlanKernels:
+    @pytest.fixture(scope="class")
+    def plan(self, setting):
+        from repro.core import RapPlanner
+
+        graphs, workload = setting
+        return RapPlanner(workload).plan(graphs)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.5])
+    def test_rejects_nonpositive_scale(self, plan, scale):
+        with pytest.raises(ValueError):
+            scale_plan_kernels(plan, scale)
+
+    def test_identity_scale_preserves_durations(self, plan):
+        assignments, trailing = scale_plan_kernels(plan, 1.0)
+        for per_gpu, orig in zip(assignments, plan.assignments_per_gpu):
+            assert set(per_gpu) == set(orig)
+            for idx in orig:
+                for a, b in zip(per_gpu[idx], orig[idx]):
+                    assert a.duration_us == b.duration_us
+
+    def test_scales_every_duration(self, plan):
+        assignments, trailing = scale_plan_kernels(plan, 2.0)
+        for per_gpu, orig in zip(assignments, plan.assignments_per_gpu):
+            for idx in orig:
+                for a, b in zip(per_gpu[idx], orig[idx]):
+                    assert a.duration_us == pytest.approx(2.0 * b.duration_us)
+        for scaled, orig in zip(trailing, plan.trailing_per_gpu):
+            for a, b in zip(scaled, orig):
+                assert a.duration_us == pytest.approx(2.0 * b.duration_us)
+
+    def test_leaves_plan_untouched(self, plan):
+        before = [
+            [k.duration_us for idx in sorted(per_gpu) for k in per_gpu[idx]]
+            for per_gpu in plan.assignments_per_gpu
+        ]
+        scale_plan_kernels(plan, 5.0)
+        after = [
+            [k.duration_us for idx in sorted(per_gpu) for k in per_gpu[idx]]
+            for per_gpu in plan.assignments_per_gpu
+        ]
+        assert before == after
+
+    def test_preserves_non_duration_fields(self, plan):
+        assignments, _ = scale_plan_kernels(plan, 3.0)
+        for per_gpu, orig in zip(assignments, plan.assignments_per_gpu):
+            for idx in orig:
+                for a, b in zip(per_gpu[idx], orig[idx]):
+                    assert a.name == b.name
+                    assert a.demand == b.demand
+                    assert a.tag == b.tag
+
+
+class TestReplannerEdgeTrigger:
+    def test_fires_once_per_crossing(self, setting):
+        """Sustained drift at one scale replans exactly once, not per observe."""
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.15)
+        fired = [replanner.observe(2.0).replanned for _ in range(4)]
+        assert fired == [True, False, False, False]
+
+    def test_second_crossing_fires_again(self, setting):
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.15)
+        assert replanner.observe(2.0).replanned
+        assert not replanner.observe(2.05).replanned
+        assert replanner.observe(4.0).replanned
+
+    def test_drift_back_to_baseline_fires(self, setting):
+        """Returning to the original distribution is itself a crossing."""
+        graphs, workload = setting
+        replanner = AdaptiveReplanner(workload, graphs, drift_threshold=0.15)
+        assert replanner.observe(2.0).replanned
+        assert replanner.observe(1.0).replanned

@@ -10,7 +10,6 @@ The scheduler's contract, fuzzed:
    exceeds (training + all preprocessing serialized).
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

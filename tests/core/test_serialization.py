@@ -4,7 +4,16 @@ import json
 
 import pytest
 
-from repro.core import RapPlanner, generate_plan_module, plan_from_json, plan_to_json
+from repro.core import (
+    PlanLoadError,
+    RapPlanner,
+    generate_plan_module,
+    load_plan,
+    plan_from_json,
+    plan_to_json,
+    save_plan,
+)
+from repro.core.serialization import resilience_from_json
 from repro.core.serialization import FORMAT_VERSION
 from repro.dlrm import TrainingWorkload, model_for_plan
 from repro.preprocessing import build_plan
@@ -74,3 +83,79 @@ class TestValidation:
         other = TrainingWorkload(workload.config, num_gpus=4, local_batch=1024)
         with pytest.raises(ValueError):
             plan_from_json(plan_to_json(plan), other, graphs)
+
+
+class TestPlanLoadError:
+    def test_truncated_json_names_the_path(self, setting):
+        graphs, workload, _, plan = setting
+        truncated = plan_to_json(plan)[:80]
+        with pytest.raises(PlanLoadError) as err:
+            plan_from_json(truncated, workload, graphs, path="/tmp/broken.json")
+        assert "/tmp/broken.json" in str(err.value)
+        assert "not valid JSON" in str(err.value)
+        assert err.value.path == "/tmp/broken.json"
+
+    def test_non_object_payload_rejected(self, setting):
+        graphs, workload, _, _ = setting
+        with pytest.raises(PlanLoadError):
+            plan_from_json("[1, 2, 3]", workload, graphs)
+
+    def test_wrong_version_is_plan_load_error(self, setting):
+        graphs, workload, _, plan = setting
+        data = json.loads(plan_to_json(plan))
+        data["format_version"] = 999
+        with pytest.raises(PlanLoadError) as err:
+            plan_from_json(json.dumps(data), workload, graphs)
+        assert "999" in str(err.value)
+
+    def test_missing_section_is_plan_load_error(self, setting):
+        graphs, workload, _, plan = setting
+        data = json.loads(plan_to_json(plan))
+        del data["assignments_per_gpu"]
+        with pytest.raises(PlanLoadError) as err:
+            plan_from_json(json.dumps(data), workload, graphs)
+        assert "malformed" in str(err.value)
+
+    def test_corrupt_kernel_entry_is_plan_load_error(self, setting):
+        graphs, workload, _, plan = setting
+        data = json.loads(plan_to_json(plan))
+        data["trailing_per_gpu"] = [[{"name": "orphan"}]]
+        with pytest.raises(PlanLoadError):
+            plan_from_json(json.dumps(data), workload, graphs)
+
+    def test_missing_file_is_plan_load_error(self, setting, tmp_path):
+        graphs, workload, _, _ = setting
+        missing = tmp_path / "nope.json"
+        with pytest.raises(PlanLoadError) as err:
+            load_plan(missing, workload, graphs)
+        assert str(missing) in str(err.value)
+
+    def test_save_load_round_trip(self, setting, tmp_path):
+        graphs, workload, planner, plan = setting
+        target = tmp_path / "plan.json"
+        save_plan(target, plan)
+        restored = load_plan(target, workload, graphs)
+        assert planner.evaluate(restored).iteration_us == pytest.approx(
+            planner.evaluate(plan).iteration_us
+        )
+
+    def test_corruption_round_trip(self, setting, tmp_path):
+        """A plan saved, corrupted on disk, and reloaded fails loudly."""
+        graphs, workload, _, plan = setting
+        target = tmp_path / "plan.json"
+        save_plan(target, plan)
+        target.write_text(target.read_text()[: target.stat().st_size // 2])
+        with pytest.raises(PlanLoadError) as err:
+            load_plan(target, workload, graphs)
+        assert str(target) in str(err.value)
+
+    def test_resilience_round_trip(self, setting):
+        graphs, workload, _, plan = setting
+        payload = {"iterations": [], "faults": [], "transitions": [], "retries": 3}
+        out = plan_to_json(plan, resilience=payload)
+        assert resilience_from_json(out) == payload
+        assert resilience_from_json(plan_to_json(plan)) is None
+
+    def test_resilience_must_be_object(self):
+        with pytest.raises(PlanLoadError):
+            resilience_from_json('{"resilience": [1]}')

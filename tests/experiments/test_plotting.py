@@ -29,7 +29,7 @@ class TestLineChart:
     def test_monotone_series_renders_monotone(self):
         """The highest y lands on the top row, the lowest on the bottom."""
         out = ascii_line_chart({"a": [(0, 0), (10, 100)]}, width=20, height=6)
-        rows = [l for l in out.splitlines() if "|" in l]
+        rows = [line for line in out.splitlines() if "|" in line]
         assert "*" in rows[0]
         assert "*" in rows[-1]
 
@@ -49,7 +49,7 @@ class TestBarChart:
 
     def test_bars_scale_to_peak(self):
         out = ascii_bar_chart({"small": 1.0, "big": 10.0}, width=10)
-        lines = {l.split("|")[0].strip(): l for l in out.splitlines()}
+        lines = {line.split("|")[0].strip(): line for line in out.splitlines()}
         assert lines["big"].count("#") == 10
         assert lines["small"].count("#") == 1
 

@@ -1,11 +1,9 @@
 """Deep property tests for the device simulator over random schedules."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpusim import (
-    CoRunPolicy,
     GpuDevice,
     KernelDesc,
     MPS_POLICY,
@@ -82,14 +80,37 @@ def test_random_schedules_satisfy_invariants(stages, kernels, data):
 @given(
     stages=st.lists(stage_strategy, min_size=1, max_size=4),
     kernels=st.lists(kernel_strategy, min_size=1, max_size=4),
+    data=st.data(),
 )
-def test_policy_ordering_holds_on_random_workloads(stages, kernels):
-    """RAP <= MPS <= STREAM total time on any workload (policy penalties
-    are strictly ordered)."""
+def test_policy_ordering_holds_on_fitted_workloads(stages, kernels, data):
+    """RAP <= MPS <= STREAM total time on demand-fitted workloads.
+
+    The ordering is only a theorem in the contention-free regime RAP's
+    scheduler actually produces (kernels demand-sharded to fit every
+    stage's leftover, including under the baselines' demand inflation).
+    Outside it, a serializing policy can beat pure co-running by running a
+    saturating kernel at standalone rate while training is blocked, so the
+    kernels are re-fitted here rather than drawn free.
+    """
+    inflation = max(MPS_POLICY.demand_inflation, STREAM_POLICY.demand_inflation)
+    sm_cap = min(s.leftover().sm for s in stages) / inflation
+    dram_cap = min(s.leftover().dram for s in stages) / inflation
+    fitted = []
+    for k in kernels:
+        sm = data.draw(st.floats(min_value=0.0, max_value=sm_cap))
+        dram = data.draw(st.floats(min_value=0.0, max_value=dram_cap))
+        fitted.append(
+            KernelDesc(
+                name=k.name,
+                duration_us=k.duration_us,
+                demand=ResourceVector(sm=sm, dram=dram),
+                num_warps=k.num_warps,
+            )
+        )
     device = GpuDevice()
     times = {}
     for name, policy in (("rap", RAP_POLICY), ("mps", MPS_POLICY), ("stream", STREAM_POLICY)):
-        result = device.simulate_iteration(stages, {0: list(kernels)}, policy=policy)
+        result = device.simulate_iteration(stages, {0: fitted}, policy=policy)
         times[name] = result.total_time_us
     assert times["rap"] <= times["mps"] + 1e-6
     assert times["mps"] <= times["stream"] + 1e-6

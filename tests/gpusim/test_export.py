@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.gpusim import (
-    GpuDevice,
     KernelDesc,
     MultiGpuCluster,
     ResourceVector,

@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.preprocessing.data import SyntheticCriteoDataset
+from repro.preprocessing.data import Batch, SyntheticCriteoDataset
 from repro.preprocessing.executor import (
     DataPreparation,
+    MissingColumnsError,
+    PreprocessingError,
     estimate_data_preparation,
     execute_graph_set,
 )
@@ -62,3 +64,47 @@ class TestDataPreparation:
         gs, _ = plan0
         prep = estimate_data_preparation(list(gs), rows=512)
         assert prep.total_us == pytest.approx(estimate_data_preparation(gs).total_us)
+
+
+class TestMissingColumns:
+    def _batch_without(self, schema, names):
+        batch = SyntheticCriteoDataset(schema, seed=1).batch(512)
+        return Batch(
+            dense={k: v for k, v in batch.dense.items() if k not in names},
+            sparse={k: v for k, v in batch.sparse.items() if k not in names},
+        )
+
+    def test_missing_column_raises_single_clear_error(self, plan0):
+        gs, schema = plan0
+        required = set()
+        for graph in gs:
+            required.update(graph.raw_inputs())
+        victim = sorted(required)[0]
+        batch = self._batch_without(schema, {victim})
+        with pytest.raises(MissingColumnsError) as err:
+            execute_graph_set(gs, batch)
+        assert err.value.columns == [victim]
+        assert victim in str(err.value)
+
+    def test_all_missing_columns_reported_at_once(self, plan0):
+        gs, schema = plan0
+        required = set()
+        for graph in gs:
+            required.update(graph.raw_inputs())
+        victims = sorted(required)[:3]
+        batch = self._batch_without(schema, set(victims))
+        with pytest.raises(MissingColumnsError) as err:
+            execute_graph_set(gs, batch)
+        assert err.value.columns == victims
+
+    def test_error_is_a_preprocessing_error(self, plan0):
+        gs, schema = plan0
+        required = sorted({c for g in gs for c in g.raw_inputs()})
+        batch = self._batch_without(schema, {required[0]})
+        with pytest.raises(PreprocessingError):
+            execute_graph_set(gs, batch)
+
+    def test_complete_batch_passes_validation(self, plan0):
+        gs, schema = plan0
+        batch = SyntheticCriteoDataset(schema, seed=1).batch(512)
+        execute_graph_set(gs, batch)  # must not raise

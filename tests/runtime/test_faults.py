@@ -1,0 +1,143 @@
+"""Tests for deterministic seeded fault injection."""
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    CPU_POOL_CRASH,
+    FAULT_KINDS,
+    FUSED_OOM,
+    KERNEL_FAILURE,
+    LATENCY_OVERRUN,
+    PLAN_DRIFT,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
+
+ALL_SPECS = (
+    FaultSpec(KERNEL_FAILURE, rate=0.4, persistence=0.2),
+    FaultSpec(LATENCY_OVERRUN, rate=0.3, magnitude=3.0),
+    FaultSpec(FUSED_OOM, rate=0.3, persistence=0.2),
+    FaultSpec(CPU_POOL_CRASH, rate=0.2),
+    FaultSpec(PLAN_DRIFT, rate=0.2, magnitude=1.5),
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=1024)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=1024)
+    planner = RapPlanner(workload)
+    return planner.plan(graphs)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor_strike", rate=0.1)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            FaultSpec(KERNEL_FAILURE, rate=rate)
+
+    def test_rejects_bad_magnitude(self):
+        with pytest.raises(ValueError):
+            FaultSpec(LATENCY_OVERRUN, rate=0.1, magnitude=0.0)
+
+    @pytest.mark.parametrize("persistence", [-0.5, 2.0])
+    def test_rejects_bad_persistence(self, persistence):
+        with pytest.raises(ValueError):
+            FaultSpec(KERNEL_FAILURE, rate=0.1, persistence=persistence)
+
+
+class TestFaultInjector:
+    def test_rejects_duplicate_kind(self):
+        with pytest.raises(ValueError):
+            FaultInjector(
+                [FaultSpec(KERNEL_FAILURE, rate=0.1), FaultSpec(KERNEL_FAILURE, rate=0.2)]
+            )
+
+    def test_disabled_without_specs(self, setting):
+        injector = FaultInjector()
+        assert not injector.enabled
+        assert injector.faults_for_iteration(0, setting) == []
+
+    def test_zero_rate_is_disabled(self, setting):
+        injector = FaultInjector([FaultSpec(KERNEL_FAILURE, rate=0.0)])
+        assert not injector.enabled
+        assert injector.faults_for_iteration(5, setting) == []
+
+    def test_same_seed_replays_identically(self, setting):
+        a = FaultInjector(ALL_SPECS, seed=13)
+        b = FaultInjector(ALL_SPECS, seed=13)
+        for i in range(30):
+            assert a.faults_for_iteration(i, setting) == b.faults_for_iteration(i, setting)
+
+    def test_schedule_is_pure_per_iteration(self, setting):
+        """Drawing iteration 7 twice, or out of order, gives the same events."""
+        injector = FaultInjector(ALL_SPECS, seed=13)
+        first = injector.faults_for_iteration(7, setting)
+        injector.faults_for_iteration(3, setting)
+        assert injector.faults_for_iteration(7, setting) == first
+
+    def test_different_seeds_differ(self, setting):
+        a = FaultInjector(ALL_SPECS, seed=1)
+        b = FaultInjector(ALL_SPECS, seed=2)
+        schedules_a = [tuple(a.faults_for_iteration(i, setting)) for i in range(40)]
+        schedules_b = [tuple(b.faults_for_iteration(i, setting)) for i in range(40)]
+        assert schedules_a != schedules_b
+
+    def test_events_target_real_placements(self, setting):
+        placed = {
+            k.name
+            for per_gpu in setting.assignments_per_gpu
+            for kernels in per_gpu.values()
+            for k in kernels
+        } | {k.name for kernels in setting.trailing_per_gpu for k in kernels}
+        injector = FaultInjector(ALL_SPECS, seed=5)
+        saw_kernel_fault = False
+        for i in range(50):
+            for event in injector.faults_for_iteration(i, setting):
+                assert event.kind in FAULT_KINDS
+                if event.kernel:
+                    saw_kernel_fault = True
+                    assert event.kernel in placed
+                    assert 0 <= event.gpu < 2
+        assert saw_kernel_fault
+
+    def test_oom_prefers_fused_kernels(self, setting):
+        fused = {
+            k.name
+            for per_gpu in setting.assignments_per_gpu
+            for kernels in per_gpu.values()
+            for k in kernels
+            if int(k.meta.get("members", 1)) > 1
+        }
+        assert fused, "plan 1 with fusion enabled should contain fused kernels"
+        injector = FaultInjector([FaultSpec(FUSED_OOM, rate=1.0)], seed=5)
+        for i in range(20):
+            for event in injector.faults_for_iteration(i, setting):
+                assert event.kernel in fused
+
+    def test_persistence_draws_persistent_events(self, setting):
+        injector = FaultInjector([FaultSpec(KERNEL_FAILURE, rate=1.0, persistence=1.0)], seed=5)
+        events = injector.faults_for_iteration(0, setting)
+        assert events and all(e.recover_after == -1 for e in events)
+
+
+class TestFaultEvent:
+    def test_round_trip(self):
+        event = FaultEvent(
+            kind=KERNEL_FAILURE,
+            iteration=9,
+            gpu=1,
+            stage=2,
+            kernel="k_fill",
+            magnitude=2.5,
+            recover_after=-1,
+        )
+        assert FaultEvent.from_dict(event.to_dict()) == event

@@ -70,3 +70,112 @@ class TestPredictorCommand:
         assert main(["predictor", "--samples", "600"]) == 0
         out = capsys.readouterr().out
         assert "Table 5" in out
+
+
+class TestRunCommand:
+    def test_clean_run_prints_report(self, capsys):
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-tolerant run" in out
+        assert "iterations: 3 (0 degraded)" in out
+        assert "replans: 0" in out
+
+    def test_injection_degrades_and_reports(self, capsys):
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--iterations", "10", "--seed", "3",
+                     "--inject", "kernel_failure=0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_failure@0.9" in out
+        assert "kernel_failure" in out
+
+    def test_seed_makes_runs_reproducible(self, capsys):
+        argv = ["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                "--iterations", "8", "--seed", "17", "--inject", "kernel_failure=0.7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_save_and_load_report(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--iterations", "4", "--inject", "kernel_failure=0.5",
+                     "--save-report", str(artifact)]) == 0
+        capsys.readouterr()
+        data = json.loads(artifact.read_text())
+        assert "resilience" in data
+        assert len(data["resilience"]["iterations"]) == 4
+        # The artifact doubles as a loadable plan.
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--iterations", "2", "--load-plan", str(artifact)]) == 0
+
+    def test_inject_full_spec_parses(self):
+        from repro.cli import _parse_inject
+
+        spec = _parse_inject("latency_overrun=0.3:4.0:0.5")
+        assert spec.kind == "latency_overrun"
+        assert spec.rate == 0.3
+        assert spec.magnitude == 4.0
+        assert spec.persistence == 0.5
+
+
+class TestErrorHandling:
+    def test_unknown_fault_kind_is_one_line_error(self, capsys):
+        code = main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--inject", "gremlins=0.5"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("rap-repro: error:")
+        assert "gremlins" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_inject_spec_rejected(self, capsys):
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--inject", "kernel_failure"]) == 2
+        assert "rap-repro: error:" in capsys.readouterr().err
+
+    def test_missing_plan_file_is_one_line_error(self, capsys, tmp_path):
+        missing = tmp_path / "ghost.json"
+        code = main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--load-plan", str(missing)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert str(missing) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_plan_file_is_one_line_error(self, capsys, tmp_path):
+        artifact = tmp_path / "plan.json"
+        assert main(["plan", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--save-json", str(artifact)]) == 0
+        artifact.write_text(artifact.read_text()[:120])
+        capsys.readouterr()
+        code = main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--load-plan", str(artifact)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not valid JSON" in captured.err
+
+    def test_invalid_args_exit_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--plan", "9"])
+        assert exc.value.code != 0
+
+
+class TestSeedThreading:
+    def test_random_plan_seed_changes_workload(self, capsys):
+        assert main(["plan", "--random-plan", "--seed", "1",
+                     "--gpus", "2", "--batch", "1024"]) == 0
+        first = capsys.readouterr().out
+        assert main(["plan", "--random-plan", "--seed", "2",
+                     "--gpus", "2", "--batch", "1024"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_random_plan_same_seed_is_deterministic(self, capsys):
+        argv = ["plan", "--random-plan", "--seed", "5", "--gpus", "2", "--batch", "1024"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
