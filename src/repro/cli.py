@@ -30,7 +30,14 @@ from .baselines import (
     run_sequential_baseline,
     run_torcharrow_baseline,
 )
-from .core import PlanLoadError, RapPlanner, generate_plan_module, load_plan, save_plan
+from .core import (
+    PlanCache,
+    PlanLoadError,
+    RapPlanner,
+    generate_plan_module,
+    load_plan,
+    save_plan,
+)
 from .dlrm import TrainingWorkload, model_for_plan
 from .experiments.reporting import format_kv, format_table
 from .gpusim import render_gantt, to_chrome_trace
@@ -70,6 +77,17 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                              "instead of a Table-3 plan")
 
 
+def _add_fast_path_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--plan-cache", metavar="DIR",
+                        help="content-addressed plan/solve cache directory; "
+                             "an unchanged workload re-plans as a hash lookup")
+    parser.add_argument("--no-parallel-search", action="store_true",
+                        help="evaluate mapping candidates sequentially instead of "
+                             "in a process pool (plans are identical either way)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite existing output files instead of failing")
+
+
 def _parse_inject(spec: str) -> FaultSpec:
     """Parse ``KIND=RATE[:MAGNITUDE[:PERSISTENCE]]`` into a FaultSpec."""
     kind, sep, rest = spec.partition("=")
@@ -96,13 +114,41 @@ def _parse_inject(spec: str) -> FaultSpec:
     return FaultSpec(kind, rate=rate, magnitude=magnitude, persistence=persistence)
 
 
-def cmd_plan(args) -> int:
-    graphs, workload = _workload(args)
-    planner = RapPlanner(
+def _check_clobber(path: str | None, force: bool) -> None:
+    """Refuse to silently overwrite an existing artifact (exit 2 without --force)."""
+    if path and not force and Path(path).exists():
+        raise ValueError(f"{path} exists; pass --force to overwrite")
+
+
+def _make_planner(args, workload) -> RapPlanner:
+    cache_dir = getattr(args, "plan_cache", None)
+    return RapPlanner(
         workload,
-        mapping_strategy=args.mapping,
-        fusion_enabled=not args.no_fusion,
+        mapping_strategy=getattr(args, "mapping", "rap"),
+        fusion_enabled=not getattr(args, "no_fusion", False),
+        cache=PlanCache(cache_dir) if cache_dir else None,
+        parallel_search=not getattr(args, "no_parallel_search", False),
     )
+
+
+def _print_cache_stats(planner: RapPlanner) -> None:
+    if planner.cache is None:
+        return
+    stats = {"plan cache": planner.cache.stats.to_dict()}
+    if planner.solve_cache is not None:
+        stats["solve cache"] = planner.solve_cache.stats.to_dict()
+    lines = {
+        name: f"{s['hits']} hit(s), {s['misses']} miss(es), {s['stores']} store(s)"
+        for name, s in stats.items()
+    }
+    print()
+    print(format_kv(lines, title="Planner fast path"))
+
+
+def cmd_plan(args) -> int:
+    _check_clobber(args.save_json, args.force)
+    graphs, workload = _workload(args)
+    planner = _make_planner(args, workload)
     plan = planner.plan(graphs)
     report = planner.evaluate(plan)
     print(
@@ -133,12 +179,14 @@ def cmd_plan(args) -> int:
     if args.save_json:
         save_plan(args.save_json, plan)
         print(f"plan artifact -> {args.save_json}")
+    _print_cache_stats(planner)
     return 0
 
 
 def cmd_run(args) -> int:
+    _check_clobber(args.save_report, args.force)
     graphs, workload = _workload(args)
-    planner = RapPlanner(workload)
+    planner = _make_planner(args, workload)
     plan = load_plan(args.load_plan, workload, graphs) if args.load_plan else None
     specs = [_parse_inject(s) for s in args.inject or []]
     runtime = FaultTolerantRuntime(
@@ -164,6 +212,7 @@ def cmd_run(args) -> int:
     if args.save_report:
         save_plan(args.save_report, runtime.plan, resilience=report.to_dict())
         print(f"\nplan + resilience report -> {args.save_report}")
+    _print_cache_stats(planner)
     return 0
 
 
@@ -219,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--emit-code", metavar="FILE", help="write the generated plan module")
     p_plan.add_argument("--emit-trace", metavar="FILE", help="write a Chrome trace JSON")
     p_plan.add_argument("--save-json", metavar="FILE", help="write a JSON plan artifact")
+    _add_fast_path_args(p_plan)
     p_plan.set_defaults(fn=cmd_plan)
 
     p_run = sub.add_parser("run", help="execute a plan through the fault-tolerant runtime")
@@ -232,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "instead of searching a fresh plan")
     p_run.add_argument("--save-report", metavar="FILE",
                        help="write the plan plus the resilience report as JSON")
+    _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="RAP vs the four baselines")

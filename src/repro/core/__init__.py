@@ -33,8 +33,19 @@ from .mapping import (
     RapMapper,
     map_data_locality,
     map_data_parallel,
+    rebuild_comm,
 )
-from .planner import RapPlan, RapPlanner, RapRunReport
+from .plan_cache import (
+    PLANNER_CODE_VERSION,
+    PlanCache,
+    PlanCacheStats,
+    graph_fingerprint,
+    graph_set_fingerprint,
+    graph_structure_key,
+    plan_cache_key,
+    workload_fingerprint,
+)
+from .planner import PlannerStats, RapPlan, RapPlanner, RapRunReport
 from .codegen import generate_plan_module, load_plan_module
 from .hybrid import HybridPlanner, HybridReport, HybridSplit
 from .adaptation import AdaptationEvent, AdaptiveReplanner, drift_graph_set, scale_plan_kernels
@@ -76,6 +87,16 @@ __all__ = [
     "RapMapper",
     "map_data_locality",
     "map_data_parallel",
+    "rebuild_comm",
+    "PLANNER_CODE_VERSION",
+    "PlanCache",
+    "PlanCacheStats",
+    "graph_fingerprint",
+    "graph_set_fingerprint",
+    "graph_structure_key",
+    "plan_cache_key",
+    "workload_fingerprint",
+    "PlannerStats",
     "RapPlan",
     "RapPlanner",
     "RapRunReport",

@@ -79,7 +79,15 @@ class FusionPlan:
 
 
 class HorizontalFusionPass:
-    """Turns a GPU's feature graphs into an ordered fused-kernel queue."""
+    """Turns a GPU's feature graphs into an ordered fused-kernel queue.
+
+    Solved fusion assignments are memoized on the *structure* of the
+    lowered instance (operator types plus dependency edges). The mapping
+    hill-climb re-fuses the same GPU groupings dozens of times per search,
+    and a drifted replan changes kernel latencies but not the dependency
+    structure, so both re-use earlier solves instead of re-running the
+    MILP -- the assignment depends only on structure, never on latencies.
+    """
 
     def __init__(
         self,
@@ -94,6 +102,24 @@ class HorizontalFusionPass:
         self.exact = exact
         self.exact_op_limit = exact_op_limit
         self.solver = solver
+        self._memo: dict[tuple, tuple[list[int], str, str | None]] = {}
+        self.memo_hits = 0
+
+    def _solve_memoized(self, instance: FusionInstance) -> FusionAssignment:
+        key = (tuple(instance.op_types), tuple(instance.deps))
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.memo_hits += 1
+            steps, method, milp_status = hit
+            return FusionAssignment(instance, list(steps), method=method, milp_status=milp_status)
+        assignment = solve_fusion(
+            instance,
+            exact=self.exact,
+            exact_op_limit=self.exact_op_limit,
+            solver=self.solver,
+        )
+        self._memo[key] = (list(assignment.steps), assignment.method, assignment.milp_status)
+        return assignment
 
     def run(self, graphs: Sequence[FeatureGraph], rows: int) -> FusionPlan:
         """Fuse the graphs' kernels per the solved fusion assignment.
@@ -113,12 +139,7 @@ class HorizontalFusionPass:
             return FusionPlan(kernels=kernels, fused=False)
 
         instance, origin = build_fusion_instance(graphs)
-        assignment = solve_fusion(
-            instance,
-            exact=self.exact,
-            exact_op_limit=self.exact_op_limit,
-            solver=self.solver,
-        )
+        assignment = self._solve_memoized(instance)
         kernels: list[KernelDesc] = []
         for op_type, step, members in assignment.ordered_groups():
             member_kernels = [

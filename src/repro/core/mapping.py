@@ -21,6 +21,10 @@ graphs are movable.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..dlrm.training import TrainingWorkload
@@ -35,6 +39,7 @@ __all__ = [
     "map_data_parallel",
     "map_data_locality",
     "RapMapper",
+    "rebuild_comm",
 ]
 
 
@@ -124,6 +129,34 @@ def map_data_locality(graph_set: GraphSet, workload: TrainingWorkload) -> GraphM
     return mapping
 
 
+def rebuild_comm(
+    mapping: GraphMapping, graph_set: GraphSet, workload: TrainingWorkload
+) -> None:
+    """Recompute a mapping's input-communication totals from its placements.
+
+    Used when placements are reused against a *changed* graph set (an
+    incremental replan after drift): output sizes depend on the live
+    list-length distribution, so the totals accumulated move-by-move during
+    the original search are stale. Mirrors the move-delta accounting: a
+    single-placement sparse graph produced away from its consumer pays one
+    transfer of its whole-batch output.
+    """
+    comm = 0.0
+    transfers = 0
+    global_batch = workload.global_batch
+    for graph in graph_set:
+        if graph.consumer == DENSE_CONSUMER:
+            continue
+        placed = mapping.placements.get(graph.name, [])
+        if len(placed) != 1:
+            continue  # duplicated (row-wise) graphs run on every consumer
+        if placed[0][0] not in _owner_gpu(graph, workload):
+            comm += graph.output_nbytes(global_batch)
+            transfers += 1
+    mapping.input_comm_bytes = comm
+    mapping.input_comm_transfers = transfers
+
+
 @dataclass
 class MappingEvaluation:
     """Cost-model view of one candidate mapping."""
@@ -131,9 +164,15 @@ class MappingEvaluation:
     mapping: GraphMapping
     schedules: list[CoRunSchedule]
     comm_us: float
+    #: Set only when the evaluation was rebuilt from a serialized plan (the
+    #: schedules themselves are not persisted); live evaluations derive the
+    #: exposure from their schedules.
+    exposed_us_per_gpu: list[float] | None = None
 
     @property
     def exposed_per_gpu(self) -> list[float]:
+        if self.exposed_us_per_gpu is not None:
+            return list(self.exposed_us_per_gpu)
         return [s.exposed_us for s in self.schedules]
 
     @property
@@ -152,8 +191,29 @@ class MappingEvaluation:
         return (self.objective_us, sum(self.exposed_per_gpu) + self.comm_us)
 
 
+def _init_candidate_worker(payload: bytes) -> None:
+    """Worker initializer: unpickle the (mapper, graph set) pair once."""
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(payload)
+
+
+_WORKER_STATE: tuple | None = None
+
+
+def _evaluate_candidate_task(mapping: GraphMapping) -> MappingEvaluation:
+    mapper, graph_set = _WORKER_STATE
+    return mapper.evaluate(graph_set, mapping)
+
+
 class RapMapper:
-    """The §7.2 joint mapping + scheduling heuristic."""
+    """The §7.2 joint mapping + scheduling heuristic.
+
+    With ``parallel=True`` each hill-climb round's candidate mappings are
+    priced concurrently in a process pool. Evaluation is a pure function of
+    (mapper state, graph set, mapping), and results are reduced in the
+    candidates' submission order, so the search trajectory -- and therefore
+    the final plan -- is bit-identical to the sequential path.
+    """
 
     def __init__(
         self,
@@ -162,12 +222,57 @@ class RapMapper:
         fusion: HorizontalFusionPass,
         scheduler: ResourceAwareScheduler,
         max_moves: int | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
     ) -> None:
         self.workload = workload
         self.cost_model = cost_model
         self.fusion = fusion
         self.scheduler = scheduler
         self.max_moves = max_moves
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self._parallel_broken = False
+
+    # ------------------------------------------------------------------
+    # Parallel candidate evaluation
+    # ------------------------------------------------------------------
+
+    def _make_pool(self, graph_set: GraphSet) -> ProcessPoolExecutor | None:
+        """Spin up a candidate-evaluation pool, or ``None`` when impossible."""
+        if self._parallel_broken:
+            return None
+        try:
+            payload = pickle.dumps((self, graph_set))
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            workers = self.max_workers or min(4, os.cpu_count() or 1)
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_init_candidate_worker,
+                initargs=(payload,),
+            )
+        except Exception:
+            self._parallel_broken = True
+            return None
+
+    def _evaluate_candidates(
+        self,
+        graph_set: GraphSet,
+        candidates: list[GraphMapping],
+        pool: ProcessPoolExecutor | None,
+    ) -> list[MappingEvaluation]:
+        """Price every candidate, preserving submission order exactly."""
+        if pool is not None and len(candidates) > 1:
+            try:
+                futures = [pool.submit(_evaluate_candidate_task, c) for c in candidates]
+                return [f.result() for f in futures]
+            except Exception:
+                # A broken pool (pickling, crashed worker) falls back to the
+                # sequential path for the remainder of the search.
+                self._parallel_broken = True
+        return [self.evaluate(graph_set, c) for c in candidates]
 
     # ------------------------------------------------------------------
 
@@ -201,7 +306,13 @@ class RapMapper:
 
     # ------------------------------------------------------------------
 
-    def optimize(self, graph_set: GraphSet, patience: int = 6) -> MappingEvaluation:
+    def optimize(
+        self,
+        graph_set: GraphSet,
+        patience: int = 6,
+        initial_mapping: GraphMapping | None = None,
+        budget: int | None = None,
+    ) -> MappingEvaluation:
         """Run the four-step heuristic of §7.2.
 
         Step 1 initializes from data locality; steps 2-4 iterate: evaluate
@@ -213,38 +324,52 @@ class RapMapper:
         non-improving rounds and the best mapping seen is returned --
         the "weigh the benefits" acceptance of the paper applied globally
         rather than per move.
+
+        ``initial_mapping`` warm-starts the walk from a previous plan's
+        placements instead of data locality (incremental re-planning), and
+        ``budget`` overrides the move budget -- a warm start near the
+        optimum needs far fewer moves than a cold search.
         """
         n = self.workload.num_gpus
-        mapping = map_data_locality(graph_set, self.workload)
+        if initial_mapping is not None:
+            mapping = initial_mapping
+        else:
+            mapping = map_data_locality(graph_set, self.workload)
         current = self.evaluate(graph_set, mapping)
         best = current
         if n == 1:
             best.mapping.strategy = "rap"
             return best
-        budget = self.max_moves if self.max_moves is not None else 4 * len(graph_set.graphs)
+        if budget is None:
+            budget = self.max_moves if self.max_moves is not None else 4 * len(graph_set.graphs)
         global_batch = self.workload.global_batch
         stale = 0
+        pool = self._make_pool(graph_set) if self.parallel else None
 
-        for _ in range(budget):
-            exposed = current.exposed_per_gpu
-            src = max(range(n), key=lambda g: exposed[g])
-            dst = min(range(n), key=lambda g: exposed[g])
-            if src == dst or exposed[src] <= 1e-9:
-                break
-            candidates = list(
-                self._candidate_moves(graph_set, current.mapping, src, dst, global_batch)
-            )
-            if not candidates:
-                break
-            evaluations = [self.evaluate(graph_set, c) for c in candidates]
-            current = min(evaluations, key=lambda e: e.objective_key)
-            if current.objective_key < best.objective_key:
-                best = current
-                stale = 0
-            else:
-                stale += 1
-                if stale >= patience:
+        try:
+            for _ in range(budget):
+                exposed = current.exposed_per_gpu
+                src = max(range(n), key=lambda g: exposed[g])
+                dst = min(range(n), key=lambda g: exposed[g])
+                if src == dst or exposed[src] <= 1e-9:
                     break
+                candidates = list(
+                    self._candidate_moves(graph_set, current.mapping, src, dst, global_batch)
+                )
+                if not candidates:
+                    break
+                evaluations = self._evaluate_candidates(graph_set, candidates, pool)
+                current = min(evaluations, key=lambda e: e.objective_key)
+                if current.objective_key < best.objective_key:
+                    best = current
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= patience:
+                        break
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
         best.mapping.strategy = "rap"
         return best
 

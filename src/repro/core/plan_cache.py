@@ -1,0 +1,236 @@
+"""Content-addressed caching of searched plans (the planner fast path).
+
+RAP's usability depends on re-planning being cheap: the runtime watchdog
+asks for a fresh plan whenever measured exposure drifts from the
+prediction, and a production deployment replans the same workload across
+process restarts. This module makes the common case -- "nothing that
+matters changed" -- a hash lookup instead of a full Algorithm-1 search.
+
+A plan is cached under a SHA-256 of everything the search consumes:
+
+- the **workload**: GPU count, batch size, GPU spec, embedding placement,
+  and every training stage's (name, duration, SM/DRAM utilization) --
+  capacity changes invalidate;
+- the **graph set**: per-graph operator structure, parameters, consumers,
+  and list-length statistics -- kernel changes invalidate;
+- the **planner knobs**: mapping strategy, fusion/interleaving toggles,
+  move budgets, and the MILP solver's limits -- search-behaviour changes
+  invalidate;
+- the **code version** (:data:`PLANNER_CODE_VERSION`): bumped whenever the
+  search algorithm changes, so stale artifacts from older planners are
+  never resurrected.
+
+Entries are the exact JSON text of :func:`repro.core.serialization.plan_to_json`,
+persisted next to plan artifacts when a directory is given, so a warm hit
+is bit-identical to the cold search that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..dlrm.training import TrainingWorkload
+from ..preprocessing.graph import FeatureGraph, GraphSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner -> here)
+    from ..milp.branch_and_bound import BranchAndBoundSolver
+    from .planner import RapPlan
+
+__all__ = [
+    "PLANNER_CODE_VERSION",
+    "PlanCacheStats",
+    "PlanCache",
+    "graph_structure_key",
+    "graph_fingerprint",
+    "graph_set_fingerprint",
+    "workload_fingerprint",
+    "plan_cache_key",
+]
+
+#: Version tag of the planning algorithm itself. Bump on any change to the
+#: search (mapping heuristic, fusion formulation, scheduler) that can alter
+#: the produced plan: cached entries keyed under older versions become
+#: unreachable rather than silently serving stale plans.
+PLANNER_CODE_VERSION = "rap-planner-2"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def graph_structure_key(graph: FeatureGraph) -> tuple:
+    """The latency-independent structure of one feature graph.
+
+    Captures what the fusion MILP and the mapping search *see* -- operator
+    types, wiring, parameters, and the consumer -- but not the list-length
+    statistics that only rescale kernel latencies. Incremental re-planning
+    compares structure keys to decide how much of a previous plan survives.
+    """
+    return (
+        graph.name,
+        graph.consumer,
+        tuple(
+            (op.op_name, op.inputs, op.output, op._params_key())
+            for op in graph.ops
+        ),
+    )
+
+
+def graph_fingerprint(graph: FeatureGraph) -> tuple:
+    """Full per-graph key: structure plus the latency-scaling statistics."""
+    return graph_structure_key(graph) + (float(graph.avg_list_length),)
+
+
+def graph_set_fingerprint(graph_set: GraphSet) -> str:
+    payload = (graph_set.rows, tuple(graph_fingerprint(g) for g in graph_set))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def workload_fingerprint(workload: TrainingWorkload) -> str:
+    """Hash of everything the workload contributes to the search.
+
+    The per-stage (duration, utilization) tuples are included directly, so
+    any change to stage capacities -- recalibration, a different spec, a
+    new placement -- invalidates cached plans even when the headline shape
+    (GPU count x batch) is unchanged.
+    """
+    spec = workload.spec
+    placement = workload.placement
+    stages = tuple(
+        (gpu, s.name, s.duration_us, s.utilization.sm, s.utilization.dram)
+        for gpu in range(workload.num_gpus)
+        for s in workload.stages_for_gpu(gpu)
+    )
+    payload = (
+        workload.config.name,
+        workload.num_gpus,
+        workload.local_batch,
+        (
+            spec.name,
+            spec.num_sms,
+            spec.warps_per_sm,
+            spec.dram_bw_gbps,
+            spec.mem_gb,
+            spec.fp32_tflops,
+            spec.nvlink_bw_gbps,
+            spec.pcie_bw_gbps,
+            spec.kernel_launch_us,
+        ),
+        tuple(sorted(placement.table_to_gpu.items())),
+        tuple(sorted(placement.row_wise_tables)),
+        stages,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def plan_cache_key(
+    workload: TrainingWorkload,
+    graph_set: GraphSet,
+    mapping_strategy: str,
+    fusion_enabled: bool,
+    interleaving_enabled: bool,
+    exact_fusion: bool | None,
+    max_mapping_moves: int | None,
+    solver: "BranchAndBoundSolver",
+    code_version: str | None = None,
+) -> str:
+    """The content address of one planning request."""
+    payload = (
+        code_version if code_version is not None else PLANNER_CODE_VERSION,
+        workload_fingerprint(workload),
+        graph_set_fingerprint(graph_set),
+        mapping_strategy,
+        fusion_enabled,
+        interleaving_enabled,
+        exact_fusion,
+        max_mapping_moves,
+        (solver.node_limit, solver.time_limit_s, solver.integrality_tol, solver.gap_tol),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting for one plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class PlanCache:
+    """Two-tier (memory + optional directory) store of searched plans.
+
+    Entries are exact serialized-plan text; a hit deserializes against the
+    live workload and graph set, so re-serializing a warm plan reproduces
+    the stored bytes and the plan is bit-identical to the cold search.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, str] = {}
+        self.stats = PlanCacheStats()
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.plan.json"
+
+    def get(
+        self, key: str, workload: TrainingWorkload, graph_set: GraphSet
+    ) -> "RapPlan | None":
+        from .serialization import PlanLoadError, plan_from_json
+
+        text = self._memory.get(key)
+        if text is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    text = path.read_text()
+                except OSError:
+                    text = None
+        if text is not None:
+            try:
+                plan = plan_from_json(text, workload, graph_set)
+            except PlanLoadError:
+                # A torn or stale artifact is a miss, never an error: the
+                # planner falls through to a fresh search and overwrites it.
+                text = None
+            else:
+                self._memory[key] = text
+                self.stats.hits += 1
+                return plan
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, plan: "RapPlan") -> None:
+        from .serialization import plan_to_json
+
+        text = plan_to_json(plan)
+        self._memory[key] = text
+        self.stats.stores += 1
+        if self.directory is not None:
+            try:
+                self._path(key).write_text(text)
+            except OSError:
+                pass  # best-effort persistence; the memory tier still serves
+
+    def __len__(self) -> int:
+        return len(self._memory)

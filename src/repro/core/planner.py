@@ -24,6 +24,8 @@ from ..dlrm.training import TrainingWorkload
 from ..gpusim.cluster import ClusterIterationResult
 from ..gpusim.device import RAP_POLICY, CoRunPolicy
 from ..gpusim.kernel import KernelDesc
+from ..milp.branch_and_bound import BranchAndBoundSolver
+from ..milp.solve_cache import SolveCache
 from ..preprocessing.executor import DataPreparation, estimate_data_preparation
 from ..preprocessing.graph import GraphSet
 from .capacity import OverlappingCapacityEstimator
@@ -37,10 +39,12 @@ from .mapping import (
     RapMapper,
     map_data_locality,
     map_data_parallel,
+    rebuild_comm,
 )
+from .plan_cache import PlanCache, graph_structure_key, plan_cache_key
 from .scheduler import ResourceAwareScheduler
 
-__all__ = ["RapPlan", "RapRunReport", "RapPlanner"]
+__all__ = ["RapPlan", "RapRunReport", "RapPlanner", "PlannerStats"]
 
 MAPPING_STRATEGIES = ("rap", "data_parallel", "data_locality")
 
@@ -111,8 +115,41 @@ class RapRunReport:
         return self.iteration_us / ideal if ideal > 0 else 1.0
 
 
+@dataclass
+class PlannerStats:
+    """What the planner fast path did across this planner's lifetime."""
+
+    plans: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    incremental_replans: int = 0
+    full_replans: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "plans": self.plans,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "incremental_replans": self.incremental_replans,
+            "full_replans": self.full_replans,
+        }
+
+
 class RapPlanner:
-    """Searches and evaluates RAP co-running plans for a training workload."""
+    """Searches and evaluates RAP co-running plans for a training workload.
+
+    The fast-path knobs:
+
+    - ``cache``: a :class:`repro.core.plan_cache.PlanCache`; planning
+      requests whose content hash matches a cached entry return the stored
+      plan (bit-identical to the cold search) without searching.
+    - ``parallel_search``: price each mapping round's candidate moves in a
+      process pool; the reduction order is deterministic so plans stay
+      bit-identical to the sequential path.
+    - :meth:`replan` re-plans incrementally when only latencies drifted or
+      at most one graph changed structurally, warm-starting from the
+      previous plan's mapping instead of re-running the full search.
+    """
 
     def __init__(
         self,
@@ -123,6 +160,9 @@ class RapPlanner:
         interleaving_enabled: bool = True,
         exact_fusion: bool | None = None,
         max_mapping_moves: int | None = None,
+        cache: PlanCache | None = None,
+        parallel_search: bool = False,
+        solver: BranchAndBoundSolver | None = None,
     ) -> None:
         if mapping_strategy not in MAPPING_STRATEGIES:
             raise ValueError(
@@ -132,23 +172,79 @@ class RapPlanner:
         self.mapping_strategy = mapping_strategy
         self.fusion_enabled = fusion_enabled
         self.interleaving_enabled = interleaving_enabled
+        self.exact_fusion = exact_fusion
+        self.max_mapping_moves = max_mapping_moves
+        self.cache = cache
+        self.stats = PlannerStats()
+        if solver is None:
+            # MILP solves are content-cached alongside the plan cache so a
+            # replan that rebuilds the same fusion instances skips straight
+            # to the stored solutions (persisted when the plan cache is).
+            solve_dir = cache.directory / "milp" if cache and cache.directory else None
+            solver = BranchAndBoundSolver(cache=SolveCache(solve_dir))
+        self.solver = solver
         self.estimator = OverlappingCapacityEstimator(workload.spec)
         self.cost_model = CoRunningCostModel(self.estimator, predictor)
         self.fusion = HorizontalFusionPass(
-            workload.spec, enabled=fusion_enabled, exact=exact_fusion
+            workload.spec, enabled=fusion_enabled, exact=exact_fusion, solver=solver
         )
         self.scheduler = ResourceAwareScheduler(self.cost_model)
         self.mapper = RapMapper(
-            workload, self.cost_model, self.fusion, self.scheduler, max_moves=max_mapping_moves
+            workload,
+            self.cost_model,
+            self.fusion,
+            self.scheduler,
+            max_moves=max_mapping_moves,
+            parallel=parallel_search,
         )
         self.interleaver = InterbatchInterleaver(enabled=interleaving_enabled)
 
+    @property
+    def solve_cache(self) -> SolveCache | None:
+        return self.solver.cache
+
     # ------------------------------------------------------------------
 
+    def _cache_key(self, graph_set: GraphSet) -> str:
+        return plan_cache_key(
+            self.workload,
+            graph_set,
+            self.mapping_strategy,
+            self.fusion_enabled,
+            self.interleaving_enabled,
+            self.exact_fusion,
+            self.max_mapping_moves,
+            self.solver,
+        )
+
     def plan(self, graph_set: GraphSet) -> RapPlan:
-        """Search the mapping + fusion + schedule for one workload."""
+        """Search the mapping + fusion + schedule for one workload.
+
+        With a cache attached, a content-hash hit returns the stored plan
+        without searching; a miss searches and stores the result.
+        """
+        self.stats.plans += 1
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(graph_set)
+            hit = self.cache.get(key, self.workload, graph_set)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+            self.stats.cache_misses += 1
+        plan = self._search(graph_set)
+        if key is not None:
+            self.cache.put(key, plan)
+        return plan
+
+    def _search(
+        self, graph_set: GraphSet, initial_mapping: GraphMapping | None = None,
+        move_budget: int | None = None,
+    ) -> RapPlan:
         if self.mapping_strategy == "rap":
-            evaluation = self.mapper.optimize(graph_set)
+            evaluation = self.mapper.optimize(
+                graph_set, initial_mapping=initial_mapping, budget=move_budget
+            )
         elif self.mapping_strategy == "data_parallel":
             evaluation = self.mapper.evaluate(graph_set, map_data_parallel(graph_set, self.workload))
         else:
@@ -175,6 +271,72 @@ class RapPlanner:
             fusion_enabled=self.fusion_enabled,
             interleaving_enabled=self.interleaving_enabled,
         )
+
+    # ------------------------------------------------------------------
+    # Incremental re-planning
+    # ------------------------------------------------------------------
+
+    def replan(self, graph_set: GraphSet, previous: RapPlan | None = None) -> RapPlan:
+        """Re-plan for a (possibly changed) graph set, incrementally if safe.
+
+        The cache is consulted first -- an unchanged instance is a pure
+        hash lookup. Otherwise, when ``previous`` exists and the new graph
+        set keeps the same feature names with at most one graph changed
+        *structurally* (uniform latency drift changes no structure), the
+        previous mapping seeds the hill climb under a reduced move budget
+        and the fusion pass replays its memoized assignments -- only the
+        sharding/scheduling and mapping refinement re-run. Anything bigger
+        falls back to the full Algorithm-1 search.
+        """
+        if previous is None or self.mapping_strategy != "rap":
+            return self.plan(graph_set)
+
+        self.stats.plans += 1
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(graph_set)
+            hit = self.cache.get(key, self.workload, graph_set)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+            self.stats.cache_misses += 1
+
+        if self._incremental_eligible(graph_set, previous):
+            self.stats.incremental_replans += 1
+            initial = self._warm_mapping(graph_set, previous)
+            budget = max(self.workload.num_gpus * 2, len(graph_set.graphs) // 2)
+            plan = self._search(graph_set, initial_mapping=initial, move_budget=budget)
+        else:
+            self.stats.full_replans += 1
+            plan = self._search(graph_set)
+        if key is not None:
+            self.cache.put(key, plan)
+        return plan
+
+    def _incremental_eligible(self, graph_set: GraphSet, previous: RapPlan) -> bool:
+        old = {g.name: graph_structure_key(g) for g in previous.graph_set}
+        new = {g.name: graph_structure_key(g) for g in graph_set}
+        if set(old) != set(new):
+            return False  # features appeared or vanished: full search
+        changed = sum(1 for name in new if new[name] != old[name])
+        return changed <= 1
+
+    def _warm_mapping(self, graph_set: GraphSet, previous: RapPlan) -> GraphMapping:
+        """The previous plan's placements, re-priced for the new graph set."""
+        prev = previous.mapping
+        mapping = GraphMapping(
+            strategy="rap",
+            num_gpus=self.workload.num_gpus,
+            placements={k: list(v) for k, v in prev.placements.items()},
+        )
+        # Defensive: any graph the previous mapping does not cover falls
+        # back to its data-locality placement.
+        fallback = map_data_locality(graph_set, self.workload)
+        for graph in graph_set:
+            if graph.name not in mapping.placements:
+                mapping.placements[graph.name] = list(fallback.placements[graph.name])
+        rebuild_comm(mapping, graph_set, self.workload)
+        return mapping
 
     # ------------------------------------------------------------------
 

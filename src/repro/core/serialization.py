@@ -124,6 +124,14 @@ def plan_to_json(
         ],
         "fusion_enabled": plan.fusion_enabled,
         "interleaving_enabled": plan.interleaving_enabled,
+        # The search's own cost-model summary. Schedules are not persisted
+        # (the assignments above are their product), but the headline
+        # numbers must survive so a reloaded plan predicts the same
+        # exposure -- the watchdog compares measurements against it.
+        "evaluation": {
+            "comm_us": plan.mapping_eval.comm_us,
+            "exposed_us_per_gpu": plan.mapping_eval.exposed_per_gpu,
+        },
     }
     if resilience is not None:
         payload["resilience"] = dict(resilience)
@@ -179,9 +187,20 @@ def plan_from_json(
         prep = [DataPreparation(**p) for p in data["data_prep_per_gpu"]]
         fusion_enabled = data["fusion_enabled"]
         interleaving_enabled = data["interleaving_enabled"]
-    except (KeyError, TypeError, AttributeError) as exc:
+        # Optional for backwards compatibility: version-1 artifacts written
+        # before the planner fast path carry no evaluation summary and
+        # reload with a zero predicted exposure, as before.
+        saved_eval = data.get("evaluation") or {}
+        comm_us = float(saved_eval.get("comm_us", 0.0))
+        exposed = saved_eval.get("exposed_us_per_gpu")
+        exposed = [float(v) for v in exposed] if exposed is not None else None
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        if isinstance(exc, PlanLoadError):
+            raise
         raise PlanLoadError(f"plan payload is missing or malformed: {exc}", path) from exc
-    evaluation = MappingEvaluation(mapping=mapping, schedules=[], comm_us=0.0)
+    evaluation = MappingEvaluation(
+        mapping=mapping, schedules=[], comm_us=comm_us, exposed_us_per_gpu=exposed
+    )
     return RapPlan(
         workload=workload,
         graph_set=graph_set,

@@ -68,25 +68,21 @@ def to_chrome_trace(
         per_gpu = [results]
     events: list[dict] = []
     for pid, result in enumerate(per_gpu):
+        # Metadata events carry the reserved "__metadata" category and a
+        # tid so strict viewers (Perfetto) group and sort rows correctly;
+        # process_sort_index pins GPU N to row N regardless of event order.
+        meta_common = {"cat": "__metadata", "ph": "M", "pid": pid, "ts": 0}
         events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": pid,
-                "args": {"name": f"GPU {pid}"},
-            }
+            {**meta_common, "name": "process_name", "tid": 0, "args": {"name": f"GPU {pid}"}}
         )
         events.append(
-            {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0, "args": {"name": "training"}}
+            {**meta_common, "name": "process_sort_index", "tid": 0, "args": {"sort_index": pid}}
         )
         events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": 1,
-                "args": {"name": "preprocessing"},
-            }
+            {**meta_common, "name": "thread_name", "tid": 0, "args": {"name": "training"}}
+        )
+        events.append(
+            {**meta_common, "name": "thread_name", "tid": 1, "args": {"name": "preprocessing"}}
         )
         events.extend(_span_events(result, pid))
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent)

@@ -7,6 +7,7 @@ horizontal-fusion formulation with exact and heuristic solution paths.
 
 from .model import Constraint, MilpProblem, Variable
 from .branch_and_bound import BranchAndBoundSolver, MilpSolution
+from .solve_cache import SolveCache, SolveCacheStats, problem_fingerprint
 from .linearize import add_binary_product, add_pairwise_products
 from .fusion_problem import (
     FusionAssignment,
@@ -21,6 +22,9 @@ __all__ = [
     "Variable",
     "BranchAndBoundSolver",
     "MilpSolution",
+    "SolveCache",
+    "SolveCacheStats",
+    "problem_fingerprint",
     "add_binary_product",
     "add_pairwise_products",
     "FusionAssignment",

@@ -19,13 +19,26 @@ import numpy as np
 from scipy.optimize import linprog
 
 from .model import MilpProblem
+from .solve_cache import SolveCache, problem_fingerprint
 
 __all__ = ["MilpSolution", "BranchAndBoundSolver"]
 
 
 @dataclass
 class MilpSolution:
-    """Outcome of a MILP solve."""
+    """Outcome of a MILP solve.
+
+    Status/gap contract:
+
+    - ``"optimal"``: the search completed; ``x`` is set and ``gap`` is 0.
+    - ``"feasible"``: a limit stopped the search with an incumbent in hand
+      (including a warm-start-only incumbent at zero nodes explored);
+      ``x`` is set and ``gap`` is a finite bound on the suboptimality.
+    - ``"node_limit"`` / ``"time_limit"``: a limit stopped the search with
+      *no* incumbent; ``x``, ``objective`` and ``gap`` are ``None``.
+    - ``"infeasible"``: the problem has no integral solution; ``x`` and
+      ``gap`` are ``None``.
+    """
 
     status: str  # "optimal", "feasible", "infeasible", "node_limit", "time_limit"
     x: np.ndarray | None
@@ -57,13 +70,34 @@ class BranchAndBoundSolver:
         time_limit_s: float = 30.0,
         integrality_tol: float = 1e-6,
         gap_tol: float = 1e-9,
+        cache: SolveCache | None = None,
     ) -> None:
         self.node_limit = node_limit
         self.time_limit_s = time_limit_s
         self.integrality_tol = integrality_tol
         self.gap_tol = gap_tol
+        self.cache = cache
 
     def solve(self, problem: MilpProblem, warm_start: np.ndarray | None = None) -> MilpSolution:
+        key = None
+        if self.cache is not None:
+            key = problem_fingerprint(
+                problem,
+                self.node_limit,
+                self.time_limit_s,
+                self.integrality_tol,
+                self.gap_tol,
+                warm_start,
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        solution = self._solve(problem, warm_start)
+        if key is not None:
+            self.cache.put(key, solution)
+        return solution
+
+    def _solve(self, problem: MilpProblem, warm_start: np.ndarray | None = None) -> MilpSolution:
         arrays = problem.to_arrays()
         c = arrays["c"]
         integer_mask = arrays["integer_mask"]
@@ -90,7 +124,12 @@ class BranchAndBoundSolver:
         root = relax(base_lower, base_upper)
         if not root.success:
             if incumbent_x is not None:
-                return MilpSolution("feasible", incumbent_x, problem.objective_value(incumbent_x))
+                # The warm start proves feasibility, so the relaxation's
+                # failure is numerical; with no dual bound available the
+                # incumbent is returned as-is with a zero gap estimate.
+                return MilpSolution(
+                    "feasible", incumbent_x, problem.objective_value(incumbent_x), 0, gap=0.0
+                )
             return MilpSolution("infeasible", None, None)
 
         counter = itertools.count()
@@ -157,13 +196,20 @@ class BranchAndBoundSolver:
                 incumbent_obj = float(c @ snapped)
         if incumbent_x is None:
             return MilpSolution("infeasible" if status == "optimal" else status, None, None, nodes)
-        best_bound = min((entry[0] for entry in heap), default=incumbent_obj)
+        if status == "optimal":
+            # Natural exit: the heap drained, so the incumbent is proven.
+            return MilpSolution(
+                "optimal", incumbent_x, problem.objective_value(incumbent_x), nodes, gap=0.0
+            )
+        # A limit stopped the search with an incumbent in hand (possibly the
+        # untouched warm start at zero nodes explored): report "feasible"
+        # with a finite optimality gap against the best open relaxation
+        # bound. The heap is never empty here -- limits break out of the
+        # loop before popping -- so a real dual bound always exists.
+        best_bound = heap[0][0] if heap else incumbent_obj
         gap = max(0.0, incumbent_obj - best_bound)
-        final_status = status if status != "optimal" else ("optimal" if not heap else "optimal")
-        if status in ("node_limit", "time_limit"):
-            final_status = "feasible"
         return MilpSolution(
-            final_status,
+            "feasible",
             incumbent_x,
             problem.objective_value(incumbent_x),
             nodes,

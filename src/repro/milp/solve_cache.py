@@ -1,0 +1,166 @@
+"""Content-addressed caching of MILP solves.
+
+The planner re-solves structurally identical fusion MILPs constantly: a
+watchdog-triggered replan rebuilds the same per-GPU instances, a drifted
+graph set changes kernel latencies but not the dependency structure the
+MILP encodes, and the mapping hill-climb re-prices the same GPU groupings
+many times per search. Solving is the expensive part; the problem itself
+is cheap to fingerprint.
+
+A solve is cached under a SHA-256 of the *canonical array form* of the
+problem (objective, constraint matrices, bounds, integrality mask), the
+solver's limits and tolerances, and the warm-start vector. Anything that
+could change the returned solution changes the key, so a cache hit is
+bit-identical to re-solving. Entries can persist to a directory next to
+plan artifacts so a fresh process replanning the same workload starts
+warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .model import MilpProblem
+
+__all__ = ["SolveCacheStats", "SolveCache", "problem_fingerprint"]
+
+#: Bump when the solver's search behaviour changes in a way that can alter
+#: returned solutions; persisted entries from older code are then ignored.
+SOLVER_CACHE_VERSION = 1
+
+
+def _update_array(h, label: str, arr) -> None:
+    h.update(label.encode())
+    if arr is None:
+        h.update(b"<none>")
+        return
+    a = np.ascontiguousarray(np.asarray(arr, dtype=np.float64))
+    h.update(repr(a.shape).encode())
+    h.update(a.tobytes())
+
+
+def problem_fingerprint(
+    problem: MilpProblem,
+    node_limit: int,
+    time_limit_s: float,
+    integrality_tol: float,
+    gap_tol: float,
+    warm_start: np.ndarray | None = None,
+) -> str:
+    """Canonical content hash of a problem plus everything solve() consults.
+
+    Two calls with equal fingerprints run the identical deterministic
+    search, so their solutions are interchangeable.
+    """
+    arrays = problem.to_arrays()
+    h = hashlib.sha256()
+    h.update(f"milp-v{SOLVER_CACHE_VERSION}".encode())
+    _update_array(h, "c", arrays["c"])
+    _update_array(h, "A_ub", arrays["A_ub"])
+    _update_array(h, "b_ub", arrays["b_ub"])
+    _update_array(h, "A_eq", arrays["A_eq"])
+    _update_array(h, "b_eq", arrays["b_eq"])
+    _update_array(h, "bounds", np.asarray(arrays["bounds"], dtype=np.float64))
+    h.update(b"int")
+    h.update(np.ascontiguousarray(arrays["integer_mask"]).tobytes())
+    h.update(repr((node_limit, time_limit_s, integrality_tol, gap_tol)).encode())
+    _update_array(h, "warm", warm_start)
+    return h.hexdigest()
+
+
+@dataclass
+class SolveCacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class SolveCache:
+    """In-memory (and optionally on-disk) store of finished MILP solves.
+
+    Values are stored as plain JSON payloads rather than live
+    :class:`~repro.milp.branch_and_bound.MilpSolution` objects so memory and
+    disk entries round-trip through the same representation -- a warm hit
+    from either tier rebuilds the identical solution.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict] = {}
+        self.stats = SolveCacheStats()
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.milp.json"
+
+    def get(self, key: str):
+        """Return the cached :class:`MilpSolution` for ``key``, or ``None``."""
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    payload = None  # treat a torn write as a miss
+                else:
+                    self._memory[key] = payload
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return _solution_from_payload(payload)
+
+    def put(self, key: str, solution) -> None:
+        payload = _solution_to_payload(solution)
+        self._memory[key] = payload
+        self.stats.stores += 1
+        if self.directory is not None:
+            try:
+                self._path(key).write_text(json.dumps(payload))
+            except OSError:
+                pass  # persistence is best-effort; memory tier still serves
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def _solution_to_payload(solution) -> dict:
+    return {
+        "status": solution.status,
+        "x": None if solution.x is None else [float(v) for v in solution.x],
+        "objective": solution.objective,
+        "nodes_explored": solution.nodes_explored,
+        "gap": solution.gap,
+    }
+
+
+def _solution_from_payload(payload: dict):
+    from .branch_and_bound import MilpSolution
+
+    x = payload["x"]
+    return MilpSolution(
+        status=payload["status"],
+        x=None if x is None else np.asarray(x, dtype=float),
+        objective=payload["objective"],
+        nodes_explored=payload["nodes_explored"],
+        gap=payload["gap"],
+    )

@@ -265,9 +265,15 @@ class FaultTolerantRuntime:
         return record, faults, transitions
 
     def _replan(self) -> None:
-        """Regenerate the plan for the live (possibly drifted) distribution."""
+        """Regenerate the plan for the live (possibly drifted) distribution.
+
+        Goes through the planner's fast path: an unchanged instance is a
+        plan-cache hit, and uniform drift (which rescales latencies but not
+        graph structure) re-plans incrementally from the active plan's
+        mapping instead of re-running the full search.
+        """
         drifted = drift_graph_set(self.graph_set, self._total_scale)
-        self.plan = self.planner.plan(drifted)
+        self.plan = self.planner.replan(drifted, previous=self.plan)
         self._scale = 1.0
         self._cpu_kernels.clear()
         self.watchdog.reset()

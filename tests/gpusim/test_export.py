@@ -47,8 +47,44 @@ class TestChromeTrace:
     def test_threads_labeled(self, result):
         data = json.loads(to_chrome_trace(result))
         meta = [e for e in data["traceEvents"] if e.get("ph") == "M"]
-        names = {e["args"]["name"] for e in meta}
+        names = {e["args"].get("name") for e in meta}
         assert {"GPU 0", "training", "preprocessing"} <= names
+
+    def test_round_trip_validity(self):
+        """The emitted trace satisfies the Trace Event Format contract.
+
+        Regression for traces that loaded in chrome://tracing but rendered
+        wrong: metadata events lacked the reserved "__metadata" category
+        and a tid, and GPU rows sorted by event order instead of GPU index.
+        """
+        cluster = MultiGpuCluster(2)
+        stages = [StageProfile("s", 100.0, ResourceVector(0.5, 0.5))]
+        res = cluster.simulate_iteration([stages] * 2)
+        data = json.loads(to_chrome_trace(res))
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        gpus = set(range(2))
+        for event in data["traceEvents"]:
+            # Every event carries the complete required key set.
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["pid"] in gpus
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+                assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+                assert event["cat"] in ("training", "preprocessing")
+            else:
+                assert event["ph"] == "M"
+                assert event["cat"] == "__metadata"
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        for pid in gpus:
+            mine = {e["name"]: e for e in meta if e["pid"] == pid}
+            assert mine["process_name"]["args"]["name"] == f"GPU {pid}"
+            assert mine["process_sort_index"]["args"]["sort_index"] == pid
+            thread_names = {
+                (e["tid"], e["args"]["name"])
+                for e in meta
+                if e["pid"] == pid and e["name"] == "thread_name"
+            }
+            assert thread_names == {(0, "training"), (1, "preprocessing")}
 
 
 class TestGantt:

@@ -112,3 +112,84 @@ class TestBranchAndBound:
         sol = BranchAndBoundSolver().solve(knapsack(values, weights, capacity))
         assert sol.ok
         assert sol.objective == pytest.approx(brute_force_knapsack(values, weights, capacity))
+
+
+def fractional_root_problem() -> MilpProblem:
+    """Feasible MILP whose floor-snapped root relaxation is infeasible."""
+    p = MilpProblem(maximize=False)
+    x, y = p.add_binary("x"), p.add_binary("y")
+    p.add_constraint({x: 1.0, y: 1.0}, ">=", 1.5)  # forces x = y = 1 integrally
+    p.set_objective({x: 1.0, y: 1.0})
+    return p
+
+
+class TestStatusGapContract:
+    """Regression pins for the terminal status / optimality-gap contract.
+
+    The bug: a warm-start-only incumbent (limit hit at zero nodes) used to
+    come back as "optimal" with ``gap=None`` -- claiming a proof the search
+    never produced. Every limit exit with an incumbent must instead report
+    "feasible" with a *finite* gap, and limit exits without an incumbent
+    must keep ``x``/``objective``/``gap`` all ``None``.
+    """
+
+    def test_warm_start_only_incumbent_is_feasible_not_optimal(self):
+        p = knapsack([5, 4], [3, 3], 3)
+        warm = np.array([0.0, 1.0])  # feasible but suboptimal (4 < 5)
+        sol = BranchAndBoundSolver(node_limit=0).solve(p, warm_start=warm)
+        assert sol.status == "feasible"
+        assert sol.nodes_explored == 0
+        assert sol.objective == pytest.approx(4.0)
+        assert sol.gap is not None and np.isfinite(sol.gap)
+        # Root LP bound is the true optimum 5 (minimization form -5), so
+        # the reported gap is exactly the incumbent's suboptimality.
+        assert sol.gap == pytest.approx(1.0)
+
+    def test_time_limit_with_warm_start_is_feasible(self):
+        p = knapsack([5, 4], [3, 3], 3)
+        warm = np.array([1.0, 0.0])
+        sol = BranchAndBoundSolver(time_limit_s=0.0).solve(p, warm_start=warm)
+        assert sol.status == "feasible"
+        assert sol.ok
+        assert sol.gap is not None and sol.gap >= 0.0
+
+    def test_node_limit_without_incumbent(self):
+        sol = BranchAndBoundSolver(node_limit=0).solve(fractional_root_problem())
+        assert sol.status == "node_limit"
+        assert sol.x is None
+        assert sol.objective is None
+        assert sol.gap is None
+        assert not sol.ok
+
+    def test_time_limit_without_incumbent(self):
+        sol = BranchAndBoundSolver(time_limit_s=0.0).solve(fractional_root_problem())
+        assert sol.status == "time_limit"
+        assert sol.x is None
+        assert sol.gap is None
+
+    def test_infeasible_has_no_gap(self):
+        p = MilpProblem()
+        x = p.add_binary("x")
+        p.add_constraint({x: 1.0}, ">=", 2.0)
+        sol = BranchAndBoundSolver().solve(p)
+        assert sol.status == "infeasible"
+        assert sol.x is None and sol.objective is None and sol.gap is None
+
+    def test_optimal_reports_zero_gap(self):
+        sol = BranchAndBoundSolver().solve(knapsack([5, 4], [3, 3], 3))
+        assert sol.status == "optimal"
+        assert sol.gap == 0.0
+
+    def test_feasible_never_claims_optimal(self):
+        """A limited solve on a hard instance never reports a free proof."""
+        rng = np.random.default_rng(7)
+        values = rng.integers(1, 100, 30).tolist()
+        weights = rng.integers(1, 50, 30).tolist()
+        p = knapsack(values, weights, 300)
+        sol = BranchAndBoundSolver(node_limit=2).solve(
+            p, warm_start=np.zeros(30)
+        )
+        if sol.status == "feasible":
+            assert sol.gap is not None and np.isfinite(sol.gap) and sol.gap >= 0.0
+        else:
+            assert sol.status == "optimal" and sol.gap == 0.0

@@ -163,6 +163,85 @@ class TestErrorHandling:
         assert exc.value.code != 0
 
 
+class TestClobberProtection:
+    """Existing artifacts are never silently overwritten without --force."""
+
+    BASE = ["--plan", "0", "--gpus", "2", "--batch", "1024"]
+
+    def test_save_json_refuses_existing_file(self, capsys, tmp_path):
+        artifact = tmp_path / "plan.json"
+        artifact.write_text("precious")
+        code = main(["plan", *self.BASE, "--save-json", str(artifact)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("rap-repro: error:")
+        assert "--force" in captured.err
+        assert "Traceback" not in captured.err
+        assert artifact.read_text() == "precious"
+
+    def test_save_json_force_overwrites(self, capsys, tmp_path):
+        artifact = tmp_path / "plan.json"
+        artifact.write_text("precious")
+        assert main(["plan", *self.BASE, "--save-json", str(artifact), "--force"]) == 0
+        assert json.loads(artifact.read_text())["format_version"] >= 1
+
+    def test_save_report_refuses_existing_file(self, capsys, tmp_path):
+        artifact = tmp_path / "report.json"
+        artifact.write_text("precious")
+        code = main(["run", *self.BASE, "--iterations", "2",
+                     "--save-report", str(artifact)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--force" in captured.err
+        assert artifact.read_text() == "precious"
+        # The refusal happens before planning: no partial output either.
+        assert "Fault-tolerant run" not in captured.out
+
+    def test_save_report_force_overwrites(self, capsys, tmp_path):
+        artifact = tmp_path / "report.json"
+        artifact.write_text("precious")
+        assert main(["run", *self.BASE, "--iterations", "2",
+                     "--save-report", str(artifact), "--force"]) == 0
+        assert "resilience" in json.loads(artifact.read_text())
+
+    def test_fresh_file_needs_no_force(self, capsys, tmp_path):
+        artifact = tmp_path / "plan.json"
+        assert main(["plan", *self.BASE, "--save-json", str(artifact)]) == 0
+        assert artifact.exists()
+
+
+class TestPlanCacheFlag:
+    BASE = ["--plan", "0", "--gpus", "2", "--batch", "1024"]
+
+    def test_warm_cache_reports_hit_and_identical_plan(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(["plan", *self.BASE, "--plan-cache", str(cache),
+                     "--save-json", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "plan cache" in cold_out and "1 miss(es)" in cold_out
+        # A second invocation (fresh process state modeled by a fresh main
+        # call) hits the disk tier and emits a bit-identical artifact.
+        assert main(["plan", *self.BASE, "--plan-cache", str(cache),
+                     "--save-json", str(warm_json)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "1 hit(s)" in warm_out
+        assert warm_json.read_text() == cold_json.read_text()
+
+    def test_no_parallel_search_same_plan(self, capsys, tmp_path):
+        seq_json = tmp_path / "seq.json"
+        par_json = tmp_path / "par.json"
+        assert main(["plan", *self.BASE, "--no-parallel-search",
+                     "--save-json", str(seq_json)]) == 0
+        assert main(["plan", *self.BASE, "--save-json", str(par_json)]) == 0
+        assert seq_json.read_text() == par_json.read_text()
+
+    def test_no_cache_no_stats_block(self, capsys):
+        assert main(["plan", *self.BASE]) == 0
+        assert "Planner fast path" not in capsys.readouterr().out
+
+
 class TestSeedThreading:
     def test_random_plan_seed_changes_workload(self, capsys):
         assert main(["plan", "--random-plan", "--seed", "1",
