@@ -45,9 +45,12 @@ from .preprocessing import build_plan
 from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
 from .runtime import (
     FAULT_KINDS,
+    CheckpointManager,
     FaultInjector,
     FaultSpec,
     FaultTolerantRuntime,
+    RunJournal,
+    SimulatedKill,
 )
 
 __all__ = ["main", "build_parser"]
@@ -183,36 +186,124 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def _check_resume_compat(snapshot, specs, args) -> None:
+    """Refuse to resume under a configuration the checkpoint was not cut for.
+
+    Resumption is only bit-identical when the seed, injection schedule, and
+    workload shape match the killed process; anything else would silently
+    diverge from the uninterrupted run.
+    """
+    state = snapshot.state
+    echo = state.get("injector", {})
+    if echo.get("seed") is not None and echo["seed"] != args.seed:
+        raise ValueError(
+            f"--resume: checkpoint was cut with seed {echo['seed']}, got --seed {args.seed}"
+        )
+    saved_specs = [
+        (s["kind"], s["rate"], s["magnitude"], s["persistence"])
+        for s in echo.get("specs", [])
+    ]
+    live_specs = [(s.kind, s.rate, s.magnitude, s.persistence) for s in specs]
+    if saved_specs and saved_specs != live_specs:
+        raise ValueError("--resume: --inject schedule differs from the checkpointed run")
+    wl = state.get("workload", {})
+    if wl.get("local_batch") is not None and wl["local_batch"] != args.batch:
+        raise ValueError(
+            f"--resume: checkpoint batch {wl['local_batch']} != --batch {args.batch}"
+        )
+    shrinks = sum(
+        1 for m in state.get("membership", []) if int(m.get("survivors", 0)) >= 1
+    )
+    if wl.get("num_gpus") is not None and wl["num_gpus"] != args.gpus - shrinks:
+        raise ValueError(
+            f"--resume: checkpoint fleet ({wl['num_gpus']} GPUs after {shrinks} "
+            f"loss(es)) is inconsistent with --gpus {args.gpus}"
+        )
+
+
 def cmd_run(args) -> int:
     _check_clobber(args.save_report, args.force)
+    if args.resume and not args.checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
     graphs, workload = _workload(args)
-    planner = _make_planner(args, workload)
-    plan = load_plan(args.load_plan, workload, graphs) if args.load_plan else None
     specs = [_parse_inject(s) for s in args.inject or []]
-    runtime = FaultTolerantRuntime(
-        planner,
-        graphs,
-        plan=plan,
-        injector=FaultInjector(specs, seed=args.seed),
-    )
-    report = runtime.run(args.iterations)
-    print(
-        format_kv(
-            {
-                "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
-                "fault injection": ", ".join(f"{s.kind}@{s.rate}" for s in specs) or "off",
-                "seed": args.seed,
-                "predicted exposed (us)": runtime.plan.predicted_exposed_us,
-            },
-            title="Fault-tolerant run",
+
+    checkpoints = None
+    journal = None
+    if args.checkpoint_dir:
+        checkpoints = CheckpointManager(args.checkpoint_dir)
+        journal = RunJournal(Path(args.checkpoint_dir) / "journal.jsonl")
+
+    start = 0
+    report = None
+    try:
+        if args.resume:
+            snapshot = checkpoints.latest()
+            if snapshot is None:
+                raise ValueError(
+                    f"--resume: no valid checkpoint under {args.checkpoint_dir}"
+                )
+            _check_resume_compat(snapshot, specs, args)
+            runtime, report, start = FaultTolerantRuntime.restore(
+                snapshot,
+                graphs,
+                workload,
+                lambda wl: _make_planner(args, wl),
+                injector=FaultInjector(specs, seed=args.seed),
+                journal=journal,
+            )
+            if start >= args.iterations:
+                raise ValueError(
+                    f"--resume: checkpoint is already at iteration {start}; "
+                    f"nothing left of --iterations {args.iterations}"
+                )
+        else:
+            planner = _make_planner(args, workload)
+            plan = load_plan(args.load_plan, workload, graphs) if args.load_plan else None
+            runtime = FaultTolerantRuntime(
+                planner,
+                graphs,
+                plan=plan,
+                injector=FaultInjector(specs, seed=args.seed),
+                journal=journal,
+            )
+        print(
+            format_kv(
+                {
+                    "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+                    "fault injection": ", ".join(f"{s.kind}@{s.rate}" for s in specs) or "off",
+                    "seed": args.seed,
+                    "resumed at iteration": start if args.resume else "n/a (fresh run)",
+                    "predicted exposed (us)": runtime.plan.predicted_exposed_us,
+                },
+                title="Fault-tolerant run",
+            )
         )
-    )
+        try:
+            report = runtime.run(
+                args.iterations - start,
+                start_iteration=start,
+                report=report,
+                checkpoints=checkpoints,
+                checkpoint_every=args.checkpoint_every if checkpoints else 0,
+                kill_after=args.kill_after_iter,
+            )
+        except SimulatedKill as exc:
+            print(
+                f"rap-repro: killed after iteration {exc.iteration} (simulated crash); "
+                "rerun with --resume to continue",
+                file=sys.stderr,
+            )
+            return 3
+    finally:
+        if journal is not None:
+            journal.close()
     print()
     print(report.summary())
     if args.save_report:
         save_plan(args.save_report, runtime.plan, resilience=report.to_dict())
         print(f"\nplan + resilience report -> {args.save_report}")
-    _print_cache_stats(planner)
+    _print_cache_stats(runtime.planner)
     return 0
 
 
@@ -282,6 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
                        "instead of searching a fresh plan")
     p_run.add_argument("--save-report", metavar="FILE",
                        help="write the plan plus the resilience report as JSON")
+    p_run.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="write iteration-consistent checkpoints and an append-only "
+                            "run journal under DIR")
+    p_run.add_argument("--checkpoint-every", type=int, default=5, metavar="N",
+                       help="checkpoint cadence in iterations (default 5; 0 disables)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint in --checkpoint-dir "
+                            "(bit-identical to an uninterrupted run under the same seed)")
+    p_run.add_argument("--kill-after-iter", type=int, metavar="K",
+                       help="simulate a hard crash after iteration K-1 completes "
+                            "(exit code 3; for resume testing)")
     _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..dlrm.training import TrainingWorkload
+from ..ioutil import advisory_lock, atomic_write_text
 from ..preprocessing.graph import FeatureGraph, GraphSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner -> here)
@@ -227,8 +228,14 @@ class PlanCache:
         self._memory[key] = text
         self.stats.stores += 1
         if self.directory is not None:
+            # Atomic write under an advisory lock: concurrent planners never
+            # interleave bytes, and a held lock degrades to skipping the
+            # disk tier (the memory tier still serves; a reader sees either
+            # the old complete entry or the new one).
             try:
-                self._path(key).write_text(text)
+                with advisory_lock(self.directory / ".lock") as acquired:
+                    if acquired:
+                        atomic_write_text(self._path(key), text)
             except OSError:
                 pass  # best-effort persistence; the memory tier still serves
 

@@ -276,7 +276,12 @@ class RapPlanner:
     # Incremental re-planning
     # ------------------------------------------------------------------
 
-    def replan(self, graph_set: GraphSet, previous: RapPlan | None = None) -> RapPlan:
+    def replan(
+        self,
+        graph_set: GraphSet,
+        previous: RapPlan | None = None,
+        initial_mapping: GraphMapping | None = None,
+    ) -> RapPlan:
         """Re-plan for a (possibly changed) graph set, incrementally if safe.
 
         The cache is consulted first -- an unchanged instance is a pure
@@ -287,8 +292,22 @@ class RapPlanner:
         and the fusion pass replays its memoized assignments -- only the
         sharding/scheduling and mapping refinement re-run. Anything bigger
         falls back to the full Algorithm-1 search.
+
+        ``initial_mapping`` forces the warm-started incremental path with an
+        explicitly constructed seed mapping. The elastic runtime uses this
+        after a membership change: ``previous`` was searched for a larger
+        fleet, so its placements cannot be reused verbatim, but its
+        surviving-GPU slice (re-indexed into the survivor space) is still a
+        far better starting point than a cold search.
         """
-        if previous is None or self.mapping_strategy != "rap":
+        if self.mapping_strategy != "rap" or (previous is None and initial_mapping is None):
+            return self.plan(graph_set)
+        if (
+            initial_mapping is None
+            and previous.workload.num_gpus != self.workload.num_gpus
+        ):
+            # A plan from a different fleet shape cannot warm-start directly;
+            # callers must re-slice it into an explicit initial_mapping.
             return self.plan(graph_set)
 
         self.stats.plans += 1
@@ -301,10 +320,13 @@ class RapPlanner:
                 return hit
             self.stats.cache_misses += 1
 
-        if self._incremental_eligible(graph_set, previous):
+        budget = max(self.workload.num_gpus * 2, len(graph_set.graphs) // 2)
+        if initial_mapping is not None:
+            self.stats.incremental_replans += 1
+            plan = self._search(graph_set, initial_mapping=initial_mapping, move_budget=budget)
+        elif self._incremental_eligible(graph_set, previous):
             self.stats.incremental_replans += 1
             initial = self._warm_mapping(graph_set, previous)
-            budget = max(self.workload.num_gpus * 2, len(graph_set.graphs) // 2)
             plan = self._search(graph_set, initial_mapping=initial, move_budget=budget)
         else:
             self.stats.full_replans += 1

@@ -20,6 +20,7 @@ from typing import Any, Mapping
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
 from ..gpusim.resources import ResourceVector
+from ..ioutil import atomic_write_text
 from ..preprocessing.executor import DataPreparation
 from ..preprocessing.graph import GraphSet
 from .mapping import GraphMapping, MappingEvaluation
@@ -31,6 +32,8 @@ __all__ = [
     "plan_from_json",
     "load_plan",
     "save_plan",
+    "kernel_to_dict",
+    "kernel_from_dict",
     "resilience_from_json",
     "FORMAT_VERSION",
 ]
@@ -53,7 +56,7 @@ class PlanLoadError(ValueError):
         super().__init__(f"{prefix}{message}")
 
 
-def _kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
+def kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
     meta = {k: v for k, v in kernel.meta.items() if k != "member_kernels"}
     if "params" in meta:
         meta["params"] = list(meta["params"])
@@ -70,7 +73,7 @@ def _kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
     }
 
 
-def _kernel_from_dict(data: dict[str, Any]) -> KernelDesc:
+def kernel_from_dict(data: dict[str, Any]) -> KernelDesc:
     meta = dict(data.get("meta", {}))
     if "params" in meta:
         meta["params"] = tuple(meta["params"])
@@ -112,11 +115,11 @@ def plan_to_json(
             "input_comm_transfers": plan.mapping.input_comm_transfers,
         },
         "assignments_per_gpu": [
-            {str(idx): [_kernel_to_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
+            {str(idx): [kernel_to_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
             for per_gpu in plan.assignments_per_gpu
         ],
         "trailing_per_gpu": [
-            [_kernel_to_dict(k) for k in kernels] for kernels in plan.trailing_per_gpu
+            [kernel_to_dict(k) for k in kernels] for kernels in plan.trailing_per_gpu
         ],
         "data_prep_per_gpu": [
             {"alloc_us": p.alloc_us, "h2d_copy_us": p.h2d_copy_us, "dispatch_us": p.dispatch_us}
@@ -178,11 +181,11 @@ def plan_from_json(
             input_comm_transfers=m["input_comm_transfers"],
         )
         assignments = [
-            {int(idx): [_kernel_from_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
+            {int(idx): [kernel_from_dict(k) for k in kernels] for idx, kernels in per_gpu.items()}
             for per_gpu in data["assignments_per_gpu"]
         ]
         trailing = [
-            [_kernel_from_dict(k) for k in kernels] for kernels in data["trailing_per_gpu"]
+            [kernel_from_dict(k) for k in kernels] for kernels in data["trailing_per_gpu"]
         ]
         prep = [DataPreparation(**p) for p in data["data_prep_per_gpu"]]
         fusion_enabled = data["fusion_enabled"]
@@ -231,8 +234,13 @@ def save_plan(
     plan: RapPlan,
     resilience: Mapping[str, Any] | None = None,
 ) -> None:
-    """Write a plan (optionally with its resilience report) to disk."""
-    Path(path).write_text(plan_to_json(plan, resilience=resilience))
+    """Write a plan (optionally with its resilience report) to disk.
+
+    The write is atomic (temp file + fsync + rename), so a crash mid-save
+    leaves either the previous artifact or the new one -- never a torn
+    file.
+    """
+    atomic_write_text(path, plan_to_json(plan, resilience=resilience))
 
 
 def resilience_from_json(source: str, path: str | Path | None = None) -> dict[str, Any] | None:

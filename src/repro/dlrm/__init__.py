@@ -14,7 +14,7 @@ from .model import (
     model_for_plan,
     terabyte_model,
 )
-from .embedding import EmbeddingPlacement, place_tables
+from .embedding import EmbeddingPlacement, place_tables, reshard_placement
 from .stages import DEFAULT_CALIBRATION, StageCalibration, build_iteration_stages
 from .training import TrainingWorkload
 from .numerics import EmbeddingBag, Interaction, Mlp, MlpLayer, NumpyDLRM, bce_loss
@@ -28,6 +28,7 @@ __all__ = [
     "model_for_plan",
     "EmbeddingPlacement",
     "place_tables",
+    "reshard_placement",
     "StageCalibration",
     "DEFAULT_CALIBRATION",
     "build_iteration_stages",

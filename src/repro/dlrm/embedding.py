@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from .model import DLRMConfig
 
-__all__ = ["EmbeddingPlacement", "place_tables"]
+__all__ = ["EmbeddingPlacement", "place_tables", "reshard_placement"]
 
 
 @dataclass
@@ -91,3 +91,53 @@ def place_tables(config: DLRMConfig, num_gpus: int) -> EmbeddingPlacement:
         placement.table_to_gpu[table.name] = target
         loads[target] += table.nbytes
     return placement
+
+
+def reshard_placement(
+    placement: EmbeddingPlacement, config: DLRMConfig, lost_gpu: int
+) -> tuple[EmbeddingPlacement, tuple[str, ...], float]:
+    """Redistribute a permanently lost GPU's tables across the survivors.
+
+    Movement is minimal: survivors keep every table they already hold
+    (re-indexed into the compacted survivor space), orphaned tables are
+    placed largest-first onto the least-loaded survivor, and row-wise
+    tables stay row-wise with only the dead shard re-replicated. Returns
+    ``(new_placement, moved_table_names, moved_bytes)`` so the caller can
+    price the redistribution in simulated wall time.
+    """
+    n = placement.num_gpus
+    if not 0 <= lost_gpu < n:
+        raise ValueError(f"lost_gpu {lost_gpu} out of range for {n} GPUs")
+    if n < 2:
+        raise ValueError("cannot re-shard below one GPU")
+    survivors = n - 1
+    remap = {g: i for i, g in enumerate(g for g in range(n) if g != lost_gpu)}
+    resharded = EmbeddingPlacement(num_gpus=survivors)
+    loads = [0.0] * survivors
+    moved_tables: list[str] = []
+    moved_bytes = 0.0
+    orphans = []
+    for table in config.tables:
+        if table.name in placement.row_wise_tables:
+            # Only the dead shard (1/n of the rows) has to be rebuilt.
+            if survivors > 1:
+                resharded.row_wise_tables.add(table.name)
+            else:
+                resharded.table_to_gpu[table.name] = 0
+            for g in range(survivors):
+                loads[g] += table.nbytes / survivors
+            moved_tables.append(table.name)
+            moved_bytes += table.nbytes / n
+        elif placement.table_to_gpu.get(table.name, -1) == lost_gpu:
+            orphans.append(table)
+        elif table.name in placement.table_to_gpu:
+            target = remap[placement.table_to_gpu[table.name]]
+            resharded.table_to_gpu[table.name] = target
+            loads[target] += table.nbytes
+    for table in sorted(orphans, key=lambda t: (-t.nbytes, t.name)):
+        target = loads.index(min(loads))
+        resharded.table_to_gpu[table.name] = target
+        loads[target] += table.nbytes
+        moved_tables.append(table.name)
+        moved_bytes += table.nbytes
+    return resharded, tuple(moved_tables), moved_bytes

@@ -16,7 +16,7 @@ from ..gpusim.cluster import ClusterIterationResult, MultiGpuCluster
 from ..gpusim.device import CoRunPolicy, RAP_POLICY, StageProfile
 from ..gpusim.kernel import KernelDesc
 from ..gpusim.resources import GpuSpec, A100_SPEC
-from .embedding import EmbeddingPlacement, place_tables
+from .embedding import EmbeddingPlacement, place_tables, reshard_placement
 from .model import DLRMConfig
 from .stages import DEFAULT_CALIBRATION, StageCalibration, build_iteration_stages
 
@@ -66,6 +66,37 @@ class TrainingWorkload:
     @property
     def global_batch(self) -> int:
         return self.local_batch * self.num_gpus
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def shrunk(self, lost_gpu: int) -> tuple["TrainingWorkload", tuple[str, ...], float]:
+        """The survivor workload after ``lost_gpu`` is permanently lost.
+
+        Embedding tables sharded on the dead device are redistributed
+        across survivors (:func:`repro.dlrm.embedding.reshard_placement`)
+        and the cluster shrinks to the survivor set. The per-GPU batch is
+        unchanged, so the global batch -- and with it peak throughput --
+        contracts with the fleet. Returns ``(workload, moved_table_names,
+        moved_bytes)``; the moved bytes price the redistribution.
+        """
+        placement, moved_tables, moved_bytes = reshard_placement(
+            self.placement, self.config, lost_gpu
+        )
+        survivor = TrainingWorkload(
+            config=self.config,
+            num_gpus=self.num_gpus - 1,
+            local_batch=self.local_batch,
+            spec=self.spec,
+            calibration=self.calibration,
+            placement=placement,
+        )
+        # Reuse the surviving interconnect rather than re-deriving it, so
+        # post-loss bandwidth assumptions match the original cluster's.
+        survivor.cluster = self.cluster.shrink(lost_gpu)
+        survivor._stage_cache.clear()
+        return survivor, moved_tables, moved_bytes
 
     # ------------------------------------------------------------------
     # Ideal (preprocessing-free) performance

@@ -81,6 +81,22 @@ class MultiGpuCluster:
         self.devices = [GpuDevice(spec, device_id=i) for i in range(num_gpus)]
         self.interconnect = interconnect or Interconnect(spec)
 
+    def shrink(self, lost_gpu: int) -> "MultiGpuCluster":
+        """The survivor cluster after one GPU is permanently lost.
+
+        Device ids are compacted into ``0..n-2`` (the bulk-synchronous
+        iteration is indexed by position, not hardware id) and the
+        interconnect object is carried over, so bandwidth assumptions are
+        unchanged for the survivors.
+        """
+        if not 0 <= lost_gpu < self.num_gpus:
+            raise ValueError(f"lost_gpu {lost_gpu} out of range for {self.num_gpus} GPUs")
+        if self.num_gpus < 2:
+            raise ValueError("cannot shrink a single-GPU cluster")
+        return MultiGpuCluster(
+            self.num_gpus - 1, self.spec, interconnect=self.interconnect
+        )
+
     def simulate_iteration(
         self,
         stages_per_gpu: Sequence[Sequence[StageProfile]],

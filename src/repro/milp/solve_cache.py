@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..ioutil import advisory_lock, atomic_write_text
 from .model import MilpProblem
 
 __all__ = ["SolveCacheStats", "SolveCache", "problem_fingerprint"]
@@ -134,8 +135,13 @@ class SolveCache:
         self._memory[key] = payload
         self.stats.stores += 1
         if self.directory is not None:
+            # Same crash-safety contract as the plan cache: atomic replace
+            # under a non-blocking advisory lock, contention downgrades to
+            # a skipped store rather than an error or a torn file.
             try:
-                self._path(key).write_text(json.dumps(payload))
+                with advisory_lock(self.directory / ".lock") as acquired:
+                    if acquired:
+                        atomic_write_text(self._path(key), json.dumps(payload))
             except OSError:
                 pass  # persistence is best-effort; memory tier still serves
 

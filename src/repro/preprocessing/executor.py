@@ -27,6 +27,7 @@ __all__ = [
     "KernelExecutionError",
     "KernelOOMError",
     "WorkerPoolError",
+    "DeviceLostError",
     "execute_graph_set",
     "estimate_data_preparation",
 ]
@@ -72,6 +73,18 @@ class KernelOOMError(KernelExecutionError):
 
 class WorkerPoolError(PreprocessingError):
     """The CPU preprocessing worker pool crashed or lost workers."""
+
+
+class DeviceLostError(PreprocessingError):
+    """A GPU dropped off the bus permanently (XID-style terminal fault).
+
+    Unlike the per-kernel failures above, no retry or re-shard on the same
+    device can succeed: recovery requires a cluster membership change.
+    """
+
+    def __init__(self, gpu: int) -> None:
+        self.gpu = gpu
+        super().__init__(f"GPU {gpu} lost (terminal device fault)")
 
 
 @dataclass(frozen=True)

@@ -7,13 +7,39 @@ per-stage deadlines, the five-rung graceful-degradation ladder
 (co-run -> shard-retry -> trailing -> sequential -> CPU fallback), a
 latency watchdog that regenerates stale plans, and the structured
 :class:`ResilienceReport` the CLI renders and serializes.
+
+On top of the ladder sit the whole-run robustness mechanisms: elastic GPU
+membership (``gpu_lost`` terminal faults shrink the fleet, re-shard the
+embeddings, and warm-replan down to one GPU and finally CPU-only),
+iteration-consistent checkpoints with manifest-sealed atomic artifacts,
+and an append-only crash-safe run journal.
 """
 
-from .executor import POOL_RESTART_BASE_US, FaultTolerantRuntime, KernelRecovery
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointManager,
+    Snapshot,
+)
+from .elastic import (
+    RESHARD_BASE_US,
+    MembershipChange,
+    clone_planner,
+    reshard_cost_us,
+    shrink_workload,
+    surviving_mapping,
+)
+from .executor import (
+    POOL_RESTART_BASE_US,
+    FaultTolerantRuntime,
+    KernelRecovery,
+    SimulatedKill,
+)
 from .faults import (
     CPU_POOL_CRASH,
     FAULT_KINDS,
     FUSED_OOM,
+    GPU_LOST,
     KERNEL_FAILURE,
     KERNEL_FAULT_KINDS,
     LATENCY_OVERRUN,
@@ -22,6 +48,7 @@ from .faults import (
     FaultInjector,
     FaultSpec,
 )
+from .journal import RunJournal
 from .ladder import (
     CO_RUN,
     CPU_FALLBACK,
@@ -39,7 +66,19 @@ from .watchdog import LatencyWatchdog, WatchdogDecision
 __all__ = [
     "FaultTolerantRuntime",
     "KernelRecovery",
+    "SimulatedKill",
     "POOL_RESTART_BASE_US",
+    "RESHARD_BASE_US",
+    "MembershipChange",
+    "reshard_cost_us",
+    "shrink_workload",
+    "surviving_mapping",
+    "clone_planner",
+    "CheckpointManager",
+    "CheckpointError",
+    "Snapshot",
+    "CHECKPOINT_FORMAT_VERSION",
+    "RunJournal",
     "FaultSpec",
     "FaultEvent",
     "FaultInjector",
@@ -50,6 +89,7 @@ __all__ = [
     "FUSED_OOM",
     "CPU_POOL_CRASH",
     "PLAN_DRIFT",
+    "GPU_LOST",
     "LADDER",
     "CO_RUN",
     "SHARD_RETRY",

@@ -1,0 +1,185 @@
+"""Iteration-consistent checkpoints for the fault-tolerant runtime.
+
+A checkpoint captures everything the runtime needs to resume as if the
+process had never died: the next training iteration, the active plan (its
+exact serialized bytes), the accumulated :class:`ResilienceReport`, and
+the runtime's mutable control state (degradation scale, CPU-evicted
+kernels, watchdog window, membership history, plan epoch). Because the
+fault injector is a pure function of ``(seed, iteration, placement)`` and
+plan serialization round-trips bit-identically, a resumed run replays the
+exact trajectory of an uninterrupted one under the same seed.
+
+Crash safety: every file is written atomically, and the per-checkpoint
+``MANIFEST.json`` -- carrying a SHA-256 per member file -- is written
+*last*. A directory without a valid manifest (the process died mid-save)
+is simply not a checkpoint; :meth:`CheckpointManager.latest` skips it and
+falls back to the newest complete one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..ioutil import atomic_write_text
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "CheckpointError", "Snapshot", "CheckpointManager"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_STATE_FILE = "state.json"
+_PLAN_FILE = "plan.json"
+_REPORT_FILE = "report.json"
+_MANIFEST_FILE = "MANIFEST.json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint directory is missing, incomplete, or corrupt."""
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded, digest-verified checkpoint."""
+
+    directory: Path
+    iteration: int
+    state: dict
+    plan_text: str
+    report: dict
+    manifest: dict
+
+
+class CheckpointManager:
+    """Writes and restores manifest-sealed checkpoint directories.
+
+    ``keep`` bounds how many complete checkpoints survive pruning; the
+    run journal (which lives alongside, not inside, the ``ckpt-*``
+    directories) is never pruned.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Saving
+
+    def _ckpt_dir(self, iteration: int) -> Path:
+        return self.directory / f"ckpt-{iteration:08d}"
+
+    def save(
+        self,
+        next_iteration: int,
+        state: dict,
+        plan_text: str,
+        report: dict,
+    ) -> Path:
+        """Write one checkpoint for resumption at ``next_iteration``.
+
+        Member files land atomically first; the manifest seals the
+        directory last, so a crash at any point leaves either a complete
+        checkpoint or an unsealed directory that loading ignores.
+        """
+        ckpt = self._ckpt_dir(next_iteration)
+        ckpt.mkdir(parents=True, exist_ok=True)
+        state = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "next_iteration": next_iteration,
+            **state,
+        }
+        members = {
+            _STATE_FILE: json.dumps(state, sort_keys=True, indent=2),
+            _PLAN_FILE: plan_text,
+            _REPORT_FILE: json.dumps(report, sort_keys=True, indent=2),
+        }
+        for name, text in members.items():
+            atomic_write_text(ckpt / name, text)
+        manifest = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "iteration": next_iteration,
+            "files": {
+                name: {"sha256": _digest(text), "bytes": len(text.encode("utf-8"))}
+                for name, text in members.items()
+            },
+        }
+        atomic_write_text(ckpt / _MANIFEST_FILE, json.dumps(manifest, sort_keys=True, indent=2))
+        self._prune()
+        return ckpt
+
+    def _prune(self) -> None:
+        complete = sorted(
+            d for d in self.directory.glob("ckpt-*")
+            if d.is_dir() and (d / _MANIFEST_FILE).exists()
+        )
+        for stale in complete[: -self.keep]:
+            shutil.rmtree(stale, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Loading
+
+    def load(self, directory: str | Path) -> Snapshot:
+        """Load and digest-verify one checkpoint directory."""
+        ckpt = Path(directory)
+        manifest_path = ckpt / _MANIFEST_FILE
+        if not manifest_path.exists():
+            raise CheckpointError(f"{ckpt}: no manifest (incomplete checkpoint)")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{ckpt}: unreadable manifest ({exc})") from exc
+        if not isinstance(manifest, dict) or manifest.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"{ckpt}: unsupported checkpoint format {manifest.get('format_version')!r}"
+                if isinstance(manifest, dict)
+                else f"{ckpt}: malformed manifest"
+            )
+        texts: dict[str, str] = {}
+        for name, meta in manifest.get("files", {}).items():
+            member = ckpt / name
+            try:
+                text = member.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise CheckpointError(f"{ckpt}: missing member {name!r} ({exc})") from exc
+            if _digest(text) != meta.get("sha256"):
+                raise CheckpointError(f"{ckpt}: digest mismatch for member {name!r}")
+            texts[name] = text
+        for required in (_STATE_FILE, _PLAN_FILE, _REPORT_FILE):
+            if required not in texts:
+                raise CheckpointError(f"{ckpt}: manifest lists no {required!r}")
+        try:
+            state = json.loads(texts[_STATE_FILE])
+            report = json.loads(texts[_REPORT_FILE])
+        except json.JSONDecodeError as exc:  # digests matched, so this is a writer bug
+            raise CheckpointError(f"{ckpt}: corrupt member payload ({exc})") from exc
+        return Snapshot(
+            directory=ckpt,
+            iteration=int(manifest["iteration"]),
+            state=state,
+            plan_text=texts[_PLAN_FILE],
+            report=report,
+            manifest=manifest,
+        )
+
+    def latest(self) -> Snapshot | None:
+        """The newest *valid* checkpoint, or ``None``.
+
+        Invalid directories (unsealed, tampered, torn) are skipped, so a
+        crash during save falls back to the previous complete checkpoint.
+        """
+        candidates = sorted((d for d in self.directory.glob("ckpt-*") if d.is_dir()), reverse=True)
+        for candidate in candidates:
+            try:
+                return self.load(candidate)
+            except CheckpointError:
+                continue
+        return None

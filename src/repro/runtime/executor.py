@@ -15,29 +15,46 @@ surface as exposed latency, and CPU-evicted kernels pace the iteration
 through the hybrid worker pool. With injection disabled the runtime is a
 transparent shim: its iteration numbers are bit-identical to
 :meth:`repro.core.RapPlanner.evaluate` on the same plan.
+
+Beyond the per-kernel ladder, two whole-run mechanisms live here:
+
+- **Elastic membership** (:mod:`repro.runtime.elastic`): a ``gpu_lost``
+  fault escalates past the ladder into a fleet shrink -- embedding
+  re-shard, warm-started N-1 replan, priced redistribution -- repeating
+  down to one GPU and finally a CPU-only regime.
+- **Checkpoint/resume** (:mod:`repro.runtime.checkpoint`): the runtime's
+  full mutable state serializes to a dict; a restored runtime replays the
+  exact trajectory of an uninterrupted run because fault injection is a
+  pure function of ``(seed, iteration, placement)``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from ..baselines.torcharrow import CpuWorkerPool
 from ..core.adaptation import drift_graph_set, scale_plan_kernels
 from ..core.fusion import fit_kernel_to_leftover, shard_by_latency
-from ..core.hybrid import cpu_fallback_production_us, degraded_pool
+from ..core.hybrid import GPU_TO_CPU_SLOWDOWN, cpu_fallback_production_us, degraded_pool
 from ..core.planner import RapPlan, RapPlanner
+from ..core.serialization import kernel_from_dict, kernel_to_dict, plan_from_json, plan_to_json
+from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
 from ..preprocessing.executor import DataPreparation
 from ..preprocessing.graph import GraphSet
+from .elastic import MembershipChange, clone_planner, reshard_cost_us, surviving_mapping
 from .faults import (
     CPU_POOL_CRASH,
     FUSED_OOM,
+    GPU_LOST,
     KERNEL_FAILURE,
     LATENCY_OVERRUN,
     PLAN_DRIFT,
     FaultEvent,
     FaultInjector,
 )
+from .journal import RunJournal
 from .ladder import (
     CO_RUN,
     CPU_FALLBACK,
@@ -50,7 +67,15 @@ from .report import IterationRecord, ResilienceReport
 from .retry import RetryPolicy
 from .watchdog import LatencyWatchdog
 
-__all__ = ["KernelRecovery", "FaultTolerantRuntime", "POOL_RESTART_BASE_US"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .checkpoint import CheckpointManager, Snapshot
+
+__all__ = [
+    "KernelRecovery",
+    "FaultTolerantRuntime",
+    "SimulatedKill",
+    "POOL_RESTART_BASE_US",
+]
 
 #: Host-side worker-pool restart latency per unit of crash magnitude.
 POOL_RESTART_BASE_US = 1_000.0
@@ -58,6 +83,18 @@ POOL_RESTART_BASE_US = 1_000.0
 #: Fraction of a stage's leftover resources offered to re-sharded pieces;
 #: recovering at reduced footprint is what sidesteps OOM-like faults.
 _RESHARD_LEFTOVER_FRACTION = 0.5
+
+
+class SimulatedKill(RuntimeError):
+    """Raised by ``run(kill_after=...)`` to emulate a hard process death.
+
+    The journal and any checkpoints written so far stay on disk exactly as
+    a real ``SIGKILL`` would leave them; tests resume from them.
+    """
+
+    def __init__(self, iteration: int) -> None:
+        self.iteration = iteration
+        super().__init__(f"simulated kill after iteration {iteration}")
 
 
 @dataclass
@@ -90,6 +127,8 @@ class FaultTolerantRuntime:
         watchdog: LatencyWatchdog | None = None,
         pool: CpuWorkerPool | None = None,
         sequential_fault_threshold: int = 3,
+        planner_factory: Callable[[RapPlanner, TrainingWorkload], RapPlanner] | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
@@ -101,12 +140,26 @@ class FaultTolerantRuntime:
         self.watchdog = watchdog or LatencyWatchdog()
         self.pool = pool or CpuWorkerPool()
         self.sequential_fault_threshold = sequential_fault_threshold
+        # Builds the survivor-fleet planner after a membership change; the
+        # default clone shares the plan cache and MILP solver.
+        self.planner_factory = planner_factory or clone_planner
+        self.journal = journal
         # Drift of the live distribution relative to the *active* plan's
         # graph set, and cumulatively relative to the base graph set.
         self._scale = 1.0
         self._total_scale = 1.0
         # Kernels persistently evicted to the host pool.
         self._cpu_kernels: list[KernelDesc] = []
+        # Elastic-membership state: monotone plan generation counter, the
+        # not-yet-charged reshard cost of the latest fleet shrink, the
+        # original-fleet identity of each current GPU index, the shrink
+        # history, and the terminal everything-on-CPU regime flag.
+        self.plan_epoch = 0
+        self._pending_recovery_us = 0.0
+        self._original_ids = list(range(self.workload.num_gpus))
+        self._membership_log: list[MembershipChange] = []
+        self._cpu_only = False
+        self._cpu_train_us: float | None = None
 
     @property
     def workload(self):
@@ -116,16 +169,51 @@ class FaultTolerantRuntime:
     def cpu_evicted(self) -> list[KernelDesc]:
         return list(self._cpu_kernels)
 
+    @property
+    def cpu_only(self) -> bool:
+        return self._cpu_only
+
+    @property
+    def membership_changes(self) -> list[MembershipChange]:
+        return list(self._membership_log)
+
+    def _journal(self, record_type: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.append(record_type, **fields)
+
     # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
 
-    def run(self, num_iterations: int, start_iteration: int = 0) -> ResilienceReport:
-        """Execute ``num_iterations`` iterations, accumulating the report."""
+    def run(
+        self,
+        num_iterations: int,
+        start_iteration: int = 0,
+        *,
+        report: ResilienceReport | None = None,
+        checkpoints: "CheckpointManager | None" = None,
+        checkpoint_every: int = 0,
+        kill_after: int | None = None,
+    ) -> ResilienceReport:
+        """Execute ``num_iterations`` iterations, accumulating the report.
+
+        ``report`` continues an existing (restored) report in place.
+        With ``checkpoints`` and ``checkpoint_every > 0``, a manifest-sealed
+        checkpoint lands after every N-th completed iteration (counted from
+        iteration 0, so resumed runs keep the original cadence).
+        ``kill_after=k`` raises :class:`SimulatedKill` once iteration
+        ``k-1`` completes -- after journaling, before checkpointing -- to
+        emulate a crash for resume tests.
+        """
         if num_iterations < 1:
             raise ValueError("num_iterations must be >= 1")
-        report = ResilienceReport()
+        if report is None:
+            report = ResilienceReport()
+        self._journal(
+            "run", start_iteration=start_iteration, num_iterations=num_iterations
+        )
         for i in range(start_iteration, start_iteration + num_iterations):
+            before_membership = len(self._membership_log)
             record, faults, transitions = self.run_iteration(i)
             report.iterations.append(record)
             report.faults.extend(faults)
@@ -133,15 +221,54 @@ class FaultTolerantRuntime:
             report.retries += record.retries
             report.backoff_total_us += record.backoff_us
             report.replans += int(record.replanned)
+            report.membership_changes.extend(self._membership_log[before_membership:])
+            for t in transitions:
+                self._journal("transition", **t.to_dict())
+            if kill_after is not None and i + 1 >= kill_after:
+                self._journal("kill", iteration=i)
+                raise SimulatedKill(i)
+            if checkpoints is not None and checkpoint_every > 0 and (i + 1) % checkpoint_every == 0:
+                self.save_checkpoint(checkpoints, report, i + 1)
         return report
 
     def run_iteration(
         self, iteration: int
     ) -> tuple[IterationRecord, list[FaultEvent], list[LadderTransition]]:
         """Execute one iteration under whatever faults the injector draws."""
-        faults = self.injector.faults_for_iteration(iteration, self.plan)
+        epoch = self.plan_epoch
+        if self._cpu_only:
+            # Terminal regime: the fleet is gone and everything paces
+            # through the host pool. The injector is skipped -- its GPU
+            # fault classes have no target -- which is safe for resume
+            # determinism because per-iteration streams are independent.
+            return self._run_cpu_only(iteration, epoch), [], []
 
-        if not faults and self._scale == 1.0 and not self._cpu_kernels:
+        faults = self.injector.faults_for_iteration(iteration, self.plan)
+        lost = [e for e in faults if e.kind == GPU_LOST]
+        rest = [e for e in faults if e.kind != GPU_LOST]
+
+        if lost:
+            membership_transitions: list[LadderTransition] = []
+            for event in lost:
+                membership_transitions.extend(self._lose_gpu(iteration, event))
+            if self._cpu_only:
+                record = self._run_cpu_only(iteration, epoch, num_faults=len(faults))
+                return record, faults, membership_transitions
+            record, _, transitions = self._run_degraded(
+                iteration,
+                rest,
+                total_faults=len(faults),
+                epoch=epoch,
+                force_replanned=True,
+            )
+            return record, faults, membership_transitions + transitions
+
+        if (
+            not faults
+            and self._scale == 1.0
+            and not self._cpu_kernels
+            and self._pending_recovery_us == 0.0
+        ):
             # Transparent path: nothing failed, nothing drifted, nothing
             # evicted -- defer to the planner's own evaluation so the
             # wrapped numbers are bit-identical to direct execution.
@@ -150,24 +277,38 @@ class FaultTolerantRuntime:
                 iteration=iteration,
                 iteration_us=report.iteration_us,
                 exposed_us=report.exposed_preprocessing_us,
+                plan_epoch=epoch,
             )
             decision = self.watchdog.observe(
                 self.plan.predicted_exposed_us, report.exposed_preprocessing_us, 0
             )
             if decision.replan:
-                self._replan()
+                self._replan(iteration)
                 record = IterationRecord(**{**record.to_dict(), "replanned": True})
             return record, [], []
 
-        return self._run_degraded(iteration, faults)
+        return self._run_degraded(iteration, faults, epoch=epoch)
 
     # ------------------------------------------------------------------
     # Degraded execution
     # ------------------------------------------------------------------
 
     def _run_degraded(
-        self, iteration: int, faults: list[FaultEvent]
+        self,
+        iteration: int,
+        faults: list[FaultEvent],
+        *,
+        total_faults: int | None = None,
+        epoch: int | None = None,
+        force_replanned: bool = False,
     ) -> tuple[IterationRecord, list[FaultEvent], list[LadderTransition]]:
+        if epoch is None:
+            epoch = self.plan_epoch
+        # A membership change earlier in this iteration leaves its priced
+        # redistribution here; under the bulk-synchronous barrier it extends
+        # every survivor equally, so it adds to the iteration as a constant.
+        reshard_us = self._pending_recovery_us
+        self._pending_recovery_us = 0.0
         num_gpus = self.workload.num_gpus
         transitions: list[LadderTransition] = []
         pool_restart_us = 0.0
@@ -242,29 +383,35 @@ class FaultTolerantRuntime:
 
         pool = degraded_pool(self.pool, pool_fraction) if pool_fraction < 1.0 else self.pool
         cpu_us = cpu_fallback_production_us(pool, self._cpu_kernels, num_gpus) + pool_restart_us
-        iteration_us = max(timeline.iteration_us, cpu_us)
         exposed_us = result.max_exposed_preprocessing_us + result.max_recovery_us
 
+        # The watchdog judges the plan against what the plan could predict:
+        # kernel-level exposure, not the one-shot reshard constant (the
+        # membership change already replanned and reset the window).
         decision = self.watchdog.observe(
             self.plan.predicted_exposed_us, exposed_us, len(faults)
         )
         if decision.replan:
-            self._replan()
+            self._replan(iteration)
+
+        iteration_us = max(timeline.iteration_us, cpu_us) + reshard_us
+        exposed_us += reshard_us
 
         record = IterationRecord(
             iteration=iteration,
             iteration_us=iteration_us,
             exposed_us=exposed_us,
-            num_faults=len(faults),
+            num_faults=total_faults if total_faults is not None else len(faults),
             retries=retries,
             backoff_us=backoff_us,
-            recovery_us=sum(recovery),
+            recovery_us=sum(recovery) + reshard_us,
             cpu_fallback_us=cpu_us,
-            replanned=decision.replan,
+            replanned=decision.replan or force_replanned,
+            plan_epoch=epoch,
         )
         return record, faults, transitions
 
-    def _replan(self) -> None:
+    def _replan(self, iteration: int = -1) -> None:
         """Regenerate the plan for the live (possibly drifted) distribution.
 
         Goes through the planner's fast path: an unchanged instance is a
@@ -277,6 +424,249 @@ class FaultTolerantRuntime:
         self._scale = 1.0
         self._cpu_kernels.clear()
         self.watchdog.reset()
+        self.plan_epoch += 1
+        self._journal(
+            "replan",
+            iteration=iteration,
+            plan_epoch=self.plan_epoch,
+            num_gpus=self.workload.num_gpus,
+        )
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+
+    def _live_graph_set(self) -> GraphSet:
+        if self._total_scale == 1.0:
+            return self.graph_set
+        return drift_graph_set(self.graph_set, self._total_scale)
+
+    def _lose_gpu(self, iteration: int, event: FaultEvent) -> list[LadderTransition]:
+        """Shrink the fleet after a terminal device loss.
+
+        For ``N > 1`` survivors: re-shard the dead GPU's embedding tables,
+        clone the planner onto the survivor workload, and replan warm from
+        the surviving slice of the old mapping. For the last GPU: evict
+        every placed kernel to the host pool and enter the CPU-only regime.
+        Either way the redistribution is priced into this iteration via
+        ``_pending_recovery_us``.
+        """
+        num_gpus = self.workload.num_gpus
+        gpu = event.gpu
+        if not 0 <= gpu < num_gpus:
+            return []  # stale event against an already-shrunk fleet
+        original = self._original_ids[gpu]
+        spec = self.workload.spec
+
+        if num_gpus == 1:
+            # Last device: the whole pipeline falls off the fleet. All
+            # embedding state moves to host memory and every placed kernel
+            # is evicted to the worker pool.
+            evicted: list[KernelDesc] = []
+            for per_gpu in self.plan.assignments_per_gpu:
+                for stage in sorted(per_gpu):
+                    evicted.extend(per_gpu[stage])
+            for trailing in self.plan.trailing_per_gpu:
+                evicted.extend(trailing)
+            self._cpu_kernels.extend(evicted)
+            moved_bytes = sum(t.nbytes for t in self.workload.config.tables)
+            moved_tables = tuple(t.name for t in self.workload.config.tables)
+            reshard_us = reshard_cost_us(moved_bytes, spec)
+            self._cpu_only = True
+            self._cpu_train_us = None
+            self._original_ids.pop(gpu)
+            self.plan_epoch += 1
+            change = MembershipChange(
+                iteration=iteration,
+                lost_gpu=gpu,
+                lost_gpu_original=original,
+                survivors=0,
+                moved_tables=moved_tables,
+                moved_bytes=moved_bytes,
+                reshard_us=reshard_us,
+                plan_epoch=self.plan_epoch,
+            )
+            self._membership_log.append(change)
+            self._pending_recovery_us += reshard_us
+            self._journal("membership", **change.to_dict())
+            return [
+                LadderTransition(
+                    iteration=iteration,
+                    gpu=gpu,
+                    kernel="*",
+                    from_rung=CO_RUN,
+                    to_rung=CPU_FALLBACK,
+                    reason="last GPU lost; pipeline evicted to host pool",
+                )
+            ]
+
+        survivor_workload, moved_tables, moved_bytes = self.workload.shrunk(gpu)
+        live = self._live_graph_set()
+        warm = surviving_mapping(self.plan, gpu, survivor_workload, live)
+        planner = self.planner_factory(self.planner, survivor_workload)
+        self.plan = planner.replan(live, previous=self.plan, initial_mapping=warm)
+        self.planner = planner
+        self._scale = 1.0
+        self._cpu_kernels.clear()
+        self.watchdog.reset()
+        self._original_ids.pop(gpu)
+        reshard_us = reshard_cost_us(moved_bytes, spec)
+        self._pending_recovery_us += reshard_us
+        self.plan_epoch += 1
+        change = MembershipChange(
+            iteration=iteration,
+            lost_gpu=gpu,
+            lost_gpu_original=original,
+            survivors=survivor_workload.num_gpus,
+            moved_tables=moved_tables,
+            moved_bytes=moved_bytes,
+            reshard_us=reshard_us,
+            plan_epoch=self.plan_epoch,
+        )
+        self._membership_log.append(change)
+        self._journal("membership", **change.to_dict())
+        return []
+
+    def _run_cpu_only(
+        self, iteration: int, epoch: int, num_faults: int = 0
+    ) -> IterationRecord:
+        """One iteration of the terminal everything-on-CPU regime."""
+        pending = self._pending_recovery_us
+        self._pending_recovery_us = 0.0
+        if self._cpu_train_us is None:
+            # Model-training compute relocated to the host: the standalone
+            # iteration of the last surviving shape, scaled by the measured
+            # GPU-to-CPU throughput gap.
+            self._cpu_train_us = self.workload.ideal_iteration_us() * GPU_TO_CPU_SLOWDOWN
+        cpu_us = cpu_fallback_production_us(self.pool, self._cpu_kernels, 1)
+        return IterationRecord(
+            iteration=iteration,
+            iteration_us=self._cpu_train_us + cpu_us + pending,
+            exposed_us=cpu_us + pending,
+            num_faults=num_faults,
+            recovery_us=pending,
+            cpu_fallback_us=cpu_us,
+            plan_epoch=epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything mutable the runtime needs to resume bit-identically.
+
+        The plan itself rides alongside as its exact serialized text (see
+        :meth:`save_checkpoint`); this dict carries the control state plus
+        echoes of the injector and workload shape so a resuming process can
+        refuse a mismatched configuration instead of silently diverging.
+        """
+        return {
+            "plan_epoch": self.plan_epoch,
+            "scale": self._scale,
+            "total_scale": self._total_scale,
+            "cpu_only": self._cpu_only,
+            "pending_recovery_us": self._pending_recovery_us,
+            "cpu_kernels": [kernel_to_dict(k) for k in self._cpu_kernels],
+            "membership": [m.to_dict() for m in self._membership_log],
+            "original_ids": list(self._original_ids),
+            "watchdog": self.watchdog.state_dict(),
+            "injector": {
+                "seed": getattr(self.injector, "seed", None),
+                "specs": [
+                    {
+                        "kind": s.kind,
+                        "rate": s.rate,
+                        "magnitude": s.magnitude,
+                        "persistence": s.persistence,
+                    }
+                    for s in getattr(self.injector, "specs", ())
+                ],
+            },
+            "workload": {
+                "model": self.workload.config.name,
+                "num_gpus": self.workload.num_gpus,
+                "local_batch": self.workload.local_batch,
+            },
+        }
+
+    def save_checkpoint(
+        self,
+        manager: "CheckpointManager",
+        report: ResilienceReport,
+        next_iteration: int,
+    ):
+        """Write one iteration-consistent checkpoint via ``manager``."""
+        path = manager.save(
+            next_iteration,
+            self.state_dict(),
+            plan_to_json(self.plan),
+            report.to_dict(),
+        )
+        self._journal("checkpoint", iteration=next_iteration, path=str(path))
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: "Snapshot",
+        graph_set: GraphSet,
+        workload: TrainingWorkload,
+        make_planner: Callable[[TrainingWorkload], RapPlanner],
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        watchdog: LatencyWatchdog | None = None,
+        pool: CpuWorkerPool | None = None,
+        sequential_fault_threshold: int = 3,
+        planner_factory: Callable[[RapPlanner, TrainingWorkload], RapPlanner] | None = None,
+        journal: RunJournal | None = None,
+    ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
+        """Rebuild a runtime from a checkpoint :class:`Snapshot`.
+
+        ``workload`` is the *original* (full-fleet) workload; the snapshot's
+        membership history is replayed over it so the restored fleet shape,
+        embedding placement, and interconnect match the killed process
+        exactly. Returns ``(runtime, report, next_iteration)``; continuing
+        with ``runtime.run(..., start_iteration=next_iteration,
+        report=report)`` replays the uninterrupted run bit-identically.
+        """
+        state = snapshot.state
+        membership = [MembershipChange.from_dict(m) for m in state.get("membership", [])]
+        live = workload
+        for change in membership:
+            if change.survivors >= 1:
+                live, _, _ = live.shrunk(change.lost_gpu)
+            # A terminal change (survivors == 0) keeps the last 1-GPU
+            # workload object; the cpu_only flag governs execution.
+        planner = make_planner(live)
+        plan = plan_from_json(snapshot.plan_text, live, graph_set)
+        runtime = cls(
+            planner,
+            graph_set,
+            plan=plan,
+            injector=injector,
+            retry_policy=retry_policy,
+            watchdog=watchdog,
+            pool=pool,
+            sequential_fault_threshold=sequential_fault_threshold,
+            planner_factory=planner_factory,
+            journal=journal,
+        )
+        runtime.plan_epoch = int(state.get("plan_epoch", 0))
+        runtime._scale = float(state.get("scale", 1.0))
+        runtime._total_scale = float(state.get("total_scale", 1.0))
+        runtime._cpu_only = bool(state.get("cpu_only", False))
+        runtime._pending_recovery_us = float(state.get("pending_recovery_us", 0.0))
+        runtime._cpu_kernels = [kernel_from_dict(k) for k in state.get("cpu_kernels", [])]
+        runtime._membership_log = membership
+        runtime._original_ids = [
+            int(g) for g in state.get("original_ids", range(live.num_gpus))
+        ]
+        runtime.watchdog.load_state(state.get("watchdog", {}))
+        report = ResilienceReport.from_dict(snapshot.report)
+        next_iteration = int(state.get("next_iteration", snapshot.iteration))
+        runtime._journal("resume", iteration=next_iteration, checkpoint=str(snapshot.directory))
+        return runtime, report, next_iteration
 
     # ------------------------------------------------------------------
     # Single-kernel recovery ladder

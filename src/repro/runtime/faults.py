@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..core.planner import RapPlan
 from ..preprocessing.executor import (
+    DeviceLostError,
     KernelExecutionError,
     KernelOOMError,
     PreprocessingError,
@@ -37,6 +38,7 @@ __all__ = [
     "FUSED_OOM",
     "CPU_POOL_CRASH",
     "PLAN_DRIFT",
+    "GPU_LOST",
     "FAULT_KINDS",
     "FAULT_EXCEPTIONS",
     "FaultSpec",
@@ -49,8 +51,11 @@ LATENCY_OVERRUN = "latency_overrun"
 FUSED_OOM = "fused_oom"
 CPU_POOL_CRASH = "cpu_pool_crash"
 PLAN_DRIFT = "plan_drift"
+GPU_LOST = "gpu_lost"
 
-FAULT_KINDS = (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM, CPU_POOL_CRASH, PLAN_DRIFT)
+FAULT_KINDS = (
+    KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM, CPU_POOL_CRASH, PLAN_DRIFT, GPU_LOST,
+)
 
 #: Kinds that target one placed kernel (as opposed to the host or the plan).
 KERNEL_FAULT_KINDS = (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM)
@@ -61,6 +66,7 @@ FAULT_EXCEPTIONS: dict[str, type[PreprocessingError]] = {
     FUSED_OOM: KernelOOMError,
     CPU_POOL_CRASH: WorkerPoolError,
     PLAN_DRIFT: PreprocessingError,
+    GPU_LOST: DeviceLostError,
 }
 
 
@@ -203,6 +209,17 @@ class FaultInjector:
                 iteration=iteration,
                 magnitude=spec.magnitude,
                 recover_after=1,
+            )
+        if spec.kind == GPU_LOST:
+            # Terminal device loss: no same-device recovery exists, so the
+            # depth is always persistent. The victim is drawn from the
+            # *current* fleet, which shrinks as earlier losses land.
+            return FaultEvent(
+                kind=spec.kind,
+                iteration=iteration,
+                gpu=rng.randrange(plan.workload.num_gpus),
+                magnitude=spec.magnitude,
+                recover_after=-1,
             )
         if spec.kind == PLAN_DRIFT:
             # Drift a step up or down; magnitude bounds the step factor.

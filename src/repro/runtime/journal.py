@@ -1,0 +1,100 @@
+"""Append-only, crash-safe run journal.
+
+Every control-plane event of a fault-tolerant run -- ladder transitions,
+replans, membership changes, checkpoints, simulated kills -- is appended
+as one JSON line, flushed and fsynced before the runtime proceeds. A
+process killed mid-epoch therefore leaves a journal whose tail explains
+exactly how far it got; a resumed run appends a ``resume`` record and
+continues the same file.
+
+A torn final line (the crash landed mid-write) is expected, not an
+error: :meth:`RunJournal.read` skips unparseable lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+__all__ = ["RunJournal"]
+
+
+class RunJournal:
+    """One append-only JSONL journal for a run directory.
+
+    Journaling is best-effort by design: a full disk or revoked handle
+    must degrade observability, never crash the simulated training loop,
+    so every OS error in :meth:`append` is swallowed.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    def _file(self) -> IO[str]:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            torn_tail = False
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    torn_tail = existing.read(1) != b"\n"
+            self._handle = self.path.open("a", encoding="utf-8")
+            if torn_tail:
+                # The previous process died mid-append; start on a fresh
+                # line so the torn fragment can't swallow our first record.
+                self._handle.write("\n")
+        return self._handle
+
+    def append(self, record_type: str, **fields) -> None:
+        """Durably append one event record (type + arbitrary JSON fields)."""
+        record = {"type": record_type, **fields}
+        try:
+            handle = self._file()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """All parseable records in the journal, oldest first.
+
+        Unparseable lines (a torn tail from a crash mid-append) are
+        skipped rather than raised.
+        """
+        records: list[dict] = []
+        journal = Path(path)
+        if not journal.exists():
+            return records
+        with journal.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+        return records

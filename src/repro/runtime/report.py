@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .elastic import MembershipChange
 from .faults import FaultEvent
 from .ladder import LadderTransition
 
@@ -31,6 +32,10 @@ class IterationRecord:
     recovery_us: float = 0.0
     cpu_fallback_us: float = 0.0
     replanned: bool = False
+    #: The plan generation this iteration *started* under. Faults observed
+    #: during a replanned iteration are charged to this (old) epoch only,
+    #: never to the plan that replaced it mid-window.
+    plan_epoch: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -47,10 +52,13 @@ class IterationRecord:
             "recovery_us": self.recovery_us,
             "cpu_fallback_us": self.cpu_fallback_us,
             "replanned": self.replanned,
+            "plan_epoch": self.plan_epoch,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "IterationRecord":
+        data = dict(data)
+        data.setdefault("plan_epoch", 0)
         return cls(**data)
 
 
@@ -64,6 +72,7 @@ class ResilienceReport:
     retries: int = 0
     backoff_total_us: float = 0.0
     replans: int = 0
+    membership_changes: list[MembershipChange] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -101,6 +110,30 @@ class ResilienceReport:
             counts[event.kind] = counts.get(event.kind, 0) + 1
         return counts
 
+    def faults_by_epoch(self) -> dict[int, int]:
+        """Fault counts keyed by the plan epoch each fault was charged to.
+
+        Each fault is attributed to exactly the epoch its iteration
+        *started* under (:attr:`IterationRecord.plan_epoch`): a fault that
+        triggers a replan mid-window belongs to the plan it hit, not to the
+        plan installed in response. Summing the values therefore always
+        equals :attr:`num_faults` -- double-counting a replan-window fault
+        against both plans was a bug this accounting pins down.
+        """
+        epoch_of_iteration = {r.iteration: r.plan_epoch for r in self.iterations}
+        counts: dict[int, int] = {}
+        for event in self.faults:
+            epoch = epoch_of_iteration.get(event.iteration, 0)
+            counts[epoch] = counts.get(epoch, 0) + 1
+        return counts
+
+    def fault_rate_for_epoch(self, epoch: int) -> float:
+        """Faults per iteration, restricted to one plan epoch."""
+        iterations = sum(1 for r in self.iterations if r.plan_epoch == epoch)
+        if iterations == 0:
+            return 0.0
+        return self.faults_by_epoch().get(epoch, 0) / iterations
+
     def rungs_reached(self) -> dict[str, int]:
         """How many demotions landed on each ladder rung."""
         counts: dict[str, int] = {}
@@ -133,6 +166,7 @@ class ResilienceReport:
             "retries": self.retries,
             "backoff_total_us": self.backoff_total_us,
             "replans": self.replans,
+            "membership_changes": [m.to_dict() for m in self.membership_changes],
         }
 
     @classmethod
@@ -144,6 +178,9 @@ class ResilienceReport:
             retries=int(data.get("retries", 0)),
             backoff_total_us=float(data.get("backoff_total_us", 0.0)),
             replans=int(data.get("replans", 0)),
+            membership_changes=[
+                MembershipChange.from_dict(m) for m in data.get("membership_changes", [])
+            ],
         )
 
     # ------------------------------------------------------------------
@@ -161,4 +198,11 @@ class ResilienceReport:
             f"ladder demotions: {self.rungs_reached() or 'none'}",
             f"replans: {self.replans}",
         ]
+        if self.membership_changes:
+            last = self.membership_changes[-1]
+            lines.append(
+                f"membership changes: {len(self.membership_changes)} "
+                f"(fleet now {last.survivors} GPU{'s' if last.survivors != 1 else ''}, "
+                f"{sum(m.moved_bytes for m in self.membership_changes) / 1e6:.1f} MB resharded)"
+            )
         return "\n".join(lines)

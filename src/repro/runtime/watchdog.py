@@ -103,3 +103,20 @@ class LatencyWatchdog:
         self._errors.clear()
         self._faults.clear()
         self._armed = True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """The mutable window state (thresholds live in the constructor)."""
+        return {
+            "errors": list(self._errors),
+            "faults": list(self._faults),
+            "armed": self._armed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this watchdog."""
+        self._errors = deque(float(e) for e in state.get("errors", ()))
+        self._faults = deque(int(f) for f in state.get("faults", ()))
+        self._armed = bool(state.get("armed", True))

@@ -1,0 +1,118 @@
+"""Seeded chaos run exercising every fault kind at once.
+
+The CI ``chaos`` job runs this file across a matrix of ``CHAOS_SEED``
+values and uploads the artifacts written to ``CHAOS_ARTIFACT_DIR`` when a
+seed fails, so a red run ships its own journal and report for triage.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    CPU_POOL_CRASH,
+    FUSED_OOM,
+    GPU_LOST,
+    KERNEL_FAILURE,
+    LATENCY_OVERRUN,
+    PLAN_DRIFT,
+    CheckpointManager,
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantRuntime,
+    ResilienceReport,
+    RunJournal,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+ITERATIONS = 24
+
+SPECS = (
+    FaultSpec(kind=KERNEL_FAILURE, rate=0.35),
+    FaultSpec(kind=LATENCY_OVERRUN, rate=0.2, magnitude=1.8),
+    FaultSpec(kind=FUSED_OOM, rate=0.1),
+    FaultSpec(kind=CPU_POOL_CRASH, rate=0.1),
+    FaultSpec(kind=PLAN_DRIFT, rate=0.15, magnitude=1.3),
+    FaultSpec(kind=GPU_LOST, rate=0.08),
+)
+
+
+def artifact_dir(tmp_path: Path) -> Path:
+    configured = os.environ.get("CHAOS_ARTIFACT_DIR")
+    target = Path(configured) if configured else tmp_path / "chaos-artifacts"
+    target = target / f"seed-{CHAOS_SEED}"
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def test_chaos_run_invariants(tmp_path):
+    graphs, schema = build_plan(1, rows=512)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=3, local_batch=512)
+    artifacts = artifact_dir(tmp_path)
+    checkpoints = CheckpointManager(artifacts / "ckpt")
+    report = ResilienceReport()
+    with RunJournal(artifacts / "journal.jsonl") as journal:
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload),
+            graphs,
+            injector=FaultInjector(specs=SPECS, seed=CHAOS_SEED),
+            journal=journal,
+        )
+        runtime.run(ITERATIONS, report=report, checkpoints=checkpoints, checkpoint_every=6)
+    (artifacts / "report.json").write_text(json.dumps(report.to_dict(), indent=2))
+
+    # The run completed every iteration regardless of what the seed threw.
+    assert report.num_iterations == ITERATIONS
+    assert [r.iteration for r in report.iterations] == list(range(ITERATIONS))
+
+    # Accounting invariants hold under arbitrary fault interleavings.
+    for record in report.iterations:
+        assert record.iteration_us > 0
+        assert record.exposed_us >= 0
+        assert record.recovery_us >= 0
+        assert record.iteration_us >= record.exposed_us or record.cpu_fallback_us > 0
+    assert sum(report.faults_by_epoch().values()) == report.num_faults
+
+    # Membership only ever shrinks, and each shrink was priced.
+    survivors = [m.survivors for m in report.membership_changes]
+    assert survivors == sorted(survivors, reverse=True)
+    for change in report.membership_changes:
+        assert change.reshard_us > 0
+        assert change.moved_bytes > 0
+
+    # The report round-trips and the latest checkpoint is loadable.
+    assert ResilienceReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
+    snapshot = checkpoints.latest()
+    assert snapshot is not None
+    assert snapshot.state["format_version"] == 1
+
+    # The journal narrates the run from the beginning.
+    records = RunJournal.read(artifacts / "journal.jsonl")
+    assert records and records[0]["type"] == "run"
+    journal_memberships = [r for r in records if r["type"] == "membership"]
+    assert len(journal_memberships) == len(report.membership_changes)
+
+
+def test_chaos_run_is_deterministic(tmp_path):
+    graphs, schema = build_plan(1, rows=512)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=3, local_batch=512)
+
+    def one_run():
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload),
+            graphs,
+            injector=FaultInjector(specs=SPECS, seed=CHAOS_SEED),
+        )
+        return runtime.run(ITERATIONS)
+
+    first, second = one_run(), one_run()
+    if first.to_dict() != second.to_dict():
+        artifacts = artifact_dir(tmp_path)
+        (artifacts / "divergence-a.json").write_text(json.dumps(first.to_dict(), indent=2))
+        (artifacts / "divergence-b.json").write_text(json.dumps(second.to_dict(), indent=2))
+        pytest.fail(f"seed {CHAOS_SEED} diverged across identical runs")

@@ -258,3 +258,80 @@ class TestSeedThreading:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestCheckpointResume:
+    BASE = ["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+            "--seed", "11", "--inject", "kernel_failure=0.5", "--inject", "plan_drift=0.2:1.2"]
+
+    def test_kill_then_resume_matches_straight_run(self, tmp_path, capsys):
+        straight = tmp_path / "straight.json"
+        assert main([*self.BASE, "--iterations", "12", "--save-report", str(straight)]) == 0
+        capsys.readouterr()
+
+        ckpt = tmp_path / "ckpt"
+        resumed = tmp_path / "resumed.json"
+        code = main([*self.BASE, "--iterations", "12",
+                     "--checkpoint-dir", str(ckpt), "--checkpoint-every", "4",
+                     "--kill-after-iter", "8"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "killed after iteration 7" in captured.err
+        assert "--resume" in captured.err
+
+        assert main([*self.BASE, "--iterations", "12",
+                     "--checkpoint-dir", str(ckpt), "--checkpoint-every", "4",
+                     "--resume", "--save-report", str(resumed)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at iteration" in out
+
+        # The artifact embeds both the final plan and the resilience
+        # report; the resumed run reproduces the straight run exactly.
+        straight_data = json.loads(straight.read_text())
+        resumed_data = json.loads(resumed.read_text())
+        assert resumed_data["resilience"] == straight_data["resilience"]
+        assert resumed_data == straight_data
+
+    def test_journal_written_alongside_checkpoints(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main([*self.BASE, "--iterations", "6",
+                     "--checkpoint-dir", str(ckpt), "--checkpoint-every", "3"]) == 0
+        capsys.readouterr()
+        journal = ckpt / "journal.jsonl"
+        assert journal.exists()
+        types = [json.loads(line)["type"] for line in journal.read_text().splitlines()]
+        assert types[0] == "run"
+        assert "checkpoint" in types
+        assert sorted(d.name for d in ckpt.glob("ckpt-*"))  # sealed checkpoint dirs
+
+    def test_resume_without_checkpoint_dir_is_an_error(self, capsys):
+        assert main([*self.BASE, "--iterations", "4", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "rap-repro: error:" in err and "--checkpoint-dir" in err
+
+    def test_resume_with_no_valid_checkpoint_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "ckpt"
+        assert main([*self.BASE, "--iterations", "4",
+                     "--checkpoint-dir", str(empty), "--resume"]) == 2
+        assert "no valid checkpoint" in capsys.readouterr().err
+
+    def test_resume_refuses_mismatched_seed(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        code = main([*self.BASE, "--iterations", "12",
+                     "--checkpoint-dir", str(ckpt), "--checkpoint-every", "4",
+                     "--kill-after-iter", "8"])
+        assert code == 3
+        capsys.readouterr()
+        mismatched = [a if a != "11" else "99" for a in self.BASE]
+        assert main([*mismatched, "--iterations", "12",
+                     "--checkpoint-dir", str(ckpt), "--resume"]) == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_resume_past_the_end_is_an_error(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main([*self.BASE, "--iterations", "8",
+                     "--checkpoint-dir", str(ckpt), "--checkpoint-every", "4"]) == 0
+        capsys.readouterr()
+        assert main([*self.BASE, "--iterations", "4",
+                     "--checkpoint-dir", str(ckpt), "--resume"]) == 2
+        assert "already at iteration" in capsys.readouterr().err
