@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Telemetry and online cost-model calibration, end to end.
+
+Injects a per-op-type latency drift -- SigridHash kernels suddenly run
+2.5x their modeled latency, the kind of regression a driver update or a
+noisy neighbour causes -- and lets the telemetry subsystem absorb it:
+
+1. the runtime records one (predicted, observed) calibration sample per
+   executed kernel;
+2. the drift detector sees the SigridHash residual stay above threshold
+   for a sustained window and fires;
+3. the runtime wraps the latency predictor in a
+   :class:`repro.telemetry.CalibratedPredictor` and replans with
+   corrected costs;
+4. the run journal records the recalibration with before/after predictor
+   error, and the metrics directory fills with ``metrics.prom``,
+   ``metrics.jsonl``, and ``trace.json``.
+
+Run:  python examples/telemetry_run.py
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro import TrainingWorkload, build_plan, model_for_plan
+from repro.core import RapPlanner
+from repro.experiments.reporting import format_kv, format_table
+from repro.runtime import FaultTolerantRuntime, RunJournal
+from repro.telemetry import LatencyDrift, TelemetrySession
+
+ITERATIONS = 12
+DRIFT = LatencyDrift("SigridHash", 2.5, start_iteration=2)
+
+
+def main() -> None:
+    graphs, schema = build_plan(1, rows=4096)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=4, local_batch=4096)
+
+    run_dir = Path(os.environ.get("RAP_TELEMETRY_RUN_DIR")
+                   or tempfile.mkdtemp(prefix="rap-telemetry-"))
+    run_dir.mkdir(parents=True, exist_ok=True)
+    telemetry = TelemetrySession(metrics_dir=run_dir / "metrics")
+    journal = RunJournal(run_dir / "journal.jsonl")
+    runtime = FaultTolerantRuntime(
+        RapPlanner(workload),
+        graphs,
+        telemetry=telemetry,
+        drift_schedule=[DRIFT],
+        journal=journal,
+    )
+
+    print(f"Injecting drift: {DRIFT.op_type} x{DRIFT.factor} from iteration "
+          f"{DRIFT.start_iteration}\n")
+    report = runtime.run(ITERATIONS)
+    artifacts = telemetry.write_artifacts(step=ITERATIONS)
+
+    rows = [
+        [r.iteration, f"{r.iteration_us:,.1f}", f"{r.exposed_us:,.1f}",
+         "replanned" if r.replanned else ""]
+        for r in report.iterations
+    ]
+    print(format_table(
+        ["iteration", "latency (us)", "exposed (us)", "event"],
+        rows,
+        title="Iterations under injected per-op drift",
+    ))
+
+    records = RunJournal.read(journal.path)
+    recalibrations = [r for r in records if r["type"] == "recalibrate"]
+    print("\nRecalibrations (from the run journal):")
+    for rec in recalibrations:
+        corrections = ", ".join(f"{op}={c:.3f}" for op, c in sorted(rec["corrections"].items())
+                                if c != 1.0)
+        print(f"  iteration {rec['iteration']}: drift on {rec['op_type']} "
+              f"(residual {rec['worst_residual']:.3f}); predictor error "
+              f"{rec['mape_before']:.3f} -> {rec['mape_after']:.3f}; {corrections}")
+
+    # The per-recalibration before/after is a mid-run snapshot (its window
+    # still mixes pre-drift samples); the "calibration_summary" record that
+    # run() journals at the end holds the settled numbers.
+    summary = next(r for r in records if r["type"] == "calibration_summary")
+    print("\n" + format_kv({
+        "drift events": len(telemetry.drift_events),
+        "replans": report.replans,
+        "predictor MAPE (raw)": f"{summary['mape_raw']:.3f}",
+        "predictor MAPE (calibrated)": f"{summary['mape_calibrated']:.3f}",
+        "metrics artifacts": str(run_dir / "metrics"),
+    }, title="Calibration summary (from the run journal)"))
+
+    print("\nPrometheus scrape sample (metrics.prom):")
+    wanted = ("rap_drift_events_total", "rap_replans_total", "rap_calibration_correction")
+    for line in artifacts["prometheus"].read_text().splitlines():
+        if line.startswith(wanted):
+            print(f"  {line}")
+
+    assert recalibrations, "expected the drift detector to fire"
+    assert report.replans >= 1, "expected a drift-triggered replan"
+    assert summary["mape_calibrated"] < summary["mape_raw"]
+
+
+if __name__ == "__main__":
+    main()

@@ -41,7 +41,7 @@ from .core import (
 from .dlrm import TrainingWorkload, model_for_plan
 from .experiments.reporting import format_kv, format_table
 from .gpusim import render_gantt, to_chrome_trace
-from .preprocessing import build_plan
+from .preprocessing import OP_REGISTRY, build_plan
 from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
 from .runtime import (
     FAULT_KINDS,
@@ -52,6 +52,7 @@ from .runtime import (
     RunJournal,
     SimulatedKill,
 )
+from .telemetry import LatencyDrift, TelemetrySession
 
 __all__ = ["main", "build_parser"]
 
@@ -117,6 +118,32 @@ def _parse_inject(spec: str) -> FaultSpec:
     return FaultSpec(kind, rate=rate, magnitude=magnitude, persistence=persistence)
 
 
+def _parse_drift(spec: str) -> LatencyDrift:
+    """Parse ``OP=FACTOR[:START[:END]]`` into a LatencyDrift."""
+    op, sep, rest = spec.partition("=")
+    if not sep or not rest:
+        raise ValueError(
+            f"bad --drift spec {spec!r}: expected OP=FACTOR[:START[:END]]"
+        )
+    if op not in OP_REGISTRY:
+        raise ValueError(
+            f"bad --drift spec {spec!r}: unknown op {op!r} "
+            f"(expected one of {', '.join(sorted(OP_REGISTRY))})"
+        )
+    parts = rest.split(":")
+    if len(parts) > 3:
+        raise ValueError(
+            f"bad --drift spec {spec!r}: expected OP=FACTOR[:START[:END]]"
+        )
+    try:
+        factor = float(parts[0])
+        start = int(parts[1]) if len(parts) > 1 else 0
+        end = int(parts[2]) if len(parts) > 2 else None
+    except ValueError:
+        raise ValueError(f"bad --drift spec {spec!r}: non-numeric value") from None
+    return LatencyDrift(op, factor, start_iteration=start, end_iteration=end)
+
+
 def _check_clobber(path: str | None, force: bool) -> None:
     """Refuse to silently overwrite an existing artifact (exit 2 without --force)."""
     if path and not force and Path(path).exists():
@@ -141,11 +168,40 @@ def _print_cache_stats(planner: RapPlanner) -> None:
     if planner.solve_cache is not None:
         stats["solve cache"] = planner.solve_cache.stats.to_dict()
     lines = {
-        name: f"{s['hits']} hit(s), {s['misses']} miss(es), {s['stores']} store(s)"
+        name: f"{s['hits']} hit(s) ({s.get('disk_hits', 0)} disk-tier), "
+        f"{s['misses']} miss(es), {s['stores']} store(s)"
         for name, s in stats.items()
     }
     print()
     print(format_kv(lines, title="Planner fast path"))
+
+
+def _make_telemetry(args) -> TelemetrySession | None:
+    if getattr(args, "no_telemetry", False):
+        if getattr(args, "metrics_dir", None):
+            raise ValueError("--metrics-dir conflicts with --no-telemetry")
+        return None
+    return TelemetrySession(metrics_dir=getattr(args, "metrics_dir", None))
+
+
+def _bind_cache_metrics(planner: RapPlanner, telemetry: TelemetrySession | None) -> None:
+    if telemetry is None:
+        return
+    if planner.cache is not None:
+        planner.cache.bind_metrics(telemetry.registry, "plan")
+    if planner.solve_cache is not None:
+        planner.solve_cache.bind_metrics(telemetry.registry, "milp")
+
+
+def _print_telemetry_summary(telemetry: TelemetrySession | None) -> None:
+    if telemetry is None:
+        return
+    lines = {}
+    for line in telemetry.summary_lines():
+        key, _, value = line.partition(":")
+        lines[key.strip()] = value.strip()
+    print()
+    print(format_kv(lines, title="Telemetry"))
 
 
 def cmd_plan(args) -> int:
@@ -186,7 +242,7 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def _check_resume_compat(snapshot, specs, args) -> None:
+def _check_resume_compat(snapshot, specs, args, drift_schedule=()) -> None:
     """Refuse to resume under a configuration the checkpoint was not cut for.
 
     Resumption is only bit-identical when the seed, injection schedule, and
@@ -206,6 +262,10 @@ def _check_resume_compat(snapshot, specs, args) -> None:
     live_specs = [(s.kind, s.rate, s.magnitude, s.persistence) for s in specs]
     if saved_specs and saved_specs != live_specs:
         raise ValueError("--resume: --inject schedule differs from the checkpointed run")
+    saved_drift = state.get("drift_schedule", [])
+    live_drift = [d.to_dict() for d in drift_schedule]
+    if saved_drift and saved_drift != live_drift:
+        raise ValueError("--resume: --drift schedule differs from the checkpointed run")
     wl = state.get("workload", {})
     if wl.get("local_batch") is not None and wl["local_batch"] != args.batch:
         raise ValueError(
@@ -227,6 +287,8 @@ def cmd_run(args) -> int:
         raise ValueError("--resume requires --checkpoint-dir")
     graphs, workload = _workload(args)
     specs = [_parse_inject(s) for s in args.inject or []]
+    drift_schedule = [_parse_drift(s) for s in args.drift or []]
+    telemetry = _make_telemetry(args)
 
     checkpoints = None
     journal = None
@@ -243,7 +305,7 @@ def cmd_run(args) -> int:
                 raise ValueError(
                     f"--resume: no valid checkpoint under {args.checkpoint_dir}"
                 )
-            _check_resume_compat(snapshot, specs, args)
+            _check_resume_compat(snapshot, specs, args, drift_schedule)
             runtime, report, start = FaultTolerantRuntime.restore(
                 snapshot,
                 graphs,
@@ -251,6 +313,8 @@ def cmd_run(args) -> int:
                 lambda wl: _make_planner(args, wl),
                 injector=FaultInjector(specs, seed=args.seed),
                 journal=journal,
+                telemetry=telemetry,
+                drift_schedule=drift_schedule or None,
             )
             if start >= args.iterations:
                 raise ValueError(
@@ -259,6 +323,7 @@ def cmd_run(args) -> int:
                 )
         else:
             planner = _make_planner(args, workload)
+            _bind_cache_metrics(planner, telemetry)
             plan = load_plan(args.load_plan, workload, graphs) if args.load_plan else None
             runtime = FaultTolerantRuntime(
                 planner,
@@ -266,7 +331,10 @@ def cmd_run(args) -> int:
                 plan=plan,
                 injector=FaultInjector(specs, seed=args.seed),
                 journal=journal,
+                telemetry=telemetry,
+                drift_schedule=drift_schedule,
             )
+        _bind_cache_metrics(runtime.planner, telemetry)
         print(
             format_kv(
                 {
@@ -304,6 +372,11 @@ def cmd_run(args) -> int:
         save_plan(args.save_report, runtime.plan, resilience=report.to_dict())
         print(f"\nplan + resilience report -> {args.save_report}")
     _print_cache_stats(runtime.planner)
+    if telemetry is not None:
+        artifacts = telemetry.write_artifacts(step=args.iterations)
+        if artifacts:
+            print(f"\ntelemetry artifacts -> {args.metrics_dir}")
+    _print_telemetry_summary(telemetry)
     return 0
 
 
@@ -384,6 +457,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--kill-after-iter", type=int, metavar="K",
                        help="simulate a hard crash after iteration K-1 completes "
                             "(exit code 3; for resume testing)")
+    p_run.add_argument("--drift", metavar="OP=FACTOR[:START[:END]]", action="append",
+                       help="inject per-op-type latency drift: kernels of OP run "
+                            "FACTOR x their modeled latency from iteration START "
+                            "(default 0) until END (exclusive); repeatable. The "
+                            "telemetry calibration loop detects and absorbs it")
+    p_run.add_argument("--metrics-dir", metavar="DIR",
+                       help="write telemetry artifacts (metrics.prom, metrics.jsonl, "
+                            "trace.json) under DIR")
+    p_run.add_argument("--no-telemetry", action="store_true",
+                       help="disable metrics, tracing, and online calibration; the "
+                            "run is bit-identical to one without the subsystem")
     _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 

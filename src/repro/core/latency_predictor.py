@@ -208,6 +208,22 @@ class PreprocessingLatencyPredictor:
         """Sum of predicted standalone latencies (the Fig.-6 sum)."""
         return sum(self.predict_kernel(k) for k in kernels)
 
+    def fingerprint(self) -> str:
+        """Content identity of this trained model for plan-cache keys.
+
+        Two predictors with equal hyperparameters trained on the same
+        deterministic sample stream produce identical models, so the
+        (params, families) pair identifies the predictions without hashing
+        every tree.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            {"params": self._params, "families": sorted(self.models)}, sort_keys=True
+        )
+        return f"gbdt:{hashlib.sha256(payload.encode()).hexdigest()[:16]}"
+
     # ------------------------------------------------------------------
 
     def evaluate(

@@ -55,7 +55,11 @@ __all__ = [
 #: search (mapping heuristic, fusion formulation, scheduler) that can alter
 #: the produced plan: cached entries keyed under older versions become
 #: unreachable rather than silently serving stale plans.
-PLANNER_CODE_VERSION = "rap-planner-2"
+#: rap-planner-3: the cache key gained the latency predictor's fingerprint
+#: (online calibration can change predictions without changing the
+#: workload, so pre-calibration entries must not serve a calibrated
+#: request).
+PLANNER_CODE_VERSION = "rap-planner-3"
 
 
 # ----------------------------------------------------------------------
@@ -138,8 +142,15 @@ def plan_cache_key(
     max_mapping_moves: int | None,
     solver: "BranchAndBoundSolver",
     code_version: str | None = None,
+    predictor_fingerprint: str | None = None,
 ) -> str:
-    """The content address of one planning request."""
+    """The content address of one planning request.
+
+    ``predictor_fingerprint`` identifies the latency model pricing the
+    search (``None`` = the oracle). Online calibration changes predictions
+    without touching the workload or graphs, so the fingerprint keeps a
+    recalibrated replan from resurrecting the stale pre-drift plan.
+    """
     payload = (
         code_version if code_version is not None else PLANNER_CODE_VERSION,
         workload_fingerprint(workload),
@@ -150,6 +161,7 @@ def plan_cache_key(
         exact_fusion,
         max_mapping_moves,
         (solver.node_limit, solver.time_limit_s, solver.integrality_tol, solver.gap_tol),
+        predictor_fingerprint,
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
@@ -161,18 +173,28 @@ def plan_cache_key(
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss accounting for one plan cache."""
+    """Hit/miss accounting for one plan cache.
+
+    ``disk_hits`` counts the subset of ``hits`` served by the persistent
+    tier (a fresh process starting warm) rather than process memory.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def to_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+        }
 
 
 class PlanCache:
@@ -189,6 +211,24 @@ class PlanCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: dict[str, str] = {}
         self.stats = PlanCacheStats()
+        self._metrics = None
+
+    def bind_metrics(self, registry, cache: str = "plan") -> None:
+        """Mirror hit/miss/store accounting into a telemetry registry."""
+        self._metrics = registry
+        self._metric_label = cache
+
+    def _count(self, outcome: str, tier: str | None = None) -> None:
+        if self._metrics is None:
+            return
+        labels = {"cache": self._metric_label}
+        if tier is not None:
+            labels["tier"] = tier
+        self._metrics.counter(
+            f"rap_cache_{outcome}_total",
+            help=f"Cache {outcome} by cache and tier",
+            labels=labels,
+        ).inc()
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -199,6 +239,7 @@ class PlanCache:
     ) -> "RapPlan | None":
         from .serialization import PlanLoadError, plan_from_json
 
+        tier = "memory"
         text = self._memory.get(key)
         if text is None and self.directory is not None:
             path = self._path(key)
@@ -207,6 +248,8 @@ class PlanCache:
                     text = path.read_text()
                 except OSError:
                     text = None
+                else:
+                    tier = "disk"
         if text is not None:
             try:
                 plan = plan_from_json(text, workload, graph_set)
@@ -217,8 +260,12 @@ class PlanCache:
             else:
                 self._memory[key] = text
                 self.stats.hits += 1
+                if tier == "disk":
+                    self.stats.disk_hits += 1
+                self._count("hits", tier)
                 return plan
         self.stats.misses += 1
+        self._count("misses")
         return None
 
     def put(self, key: str, plan: "RapPlan") -> None:
@@ -227,6 +274,7 @@ class PlanCache:
         text = plan_to_json(plan)
         self._memory[key] = text
         self.stats.stores += 1
+        self._count("stores")
         if self.directory is not None:
             # Atomic write under an advisory lock: concurrent planners never
             # interleave bytes, and a held lock degrades to skipping the

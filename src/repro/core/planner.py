@@ -203,6 +203,29 @@ class RapPlanner:
     def solve_cache(self) -> SolveCache | None:
         return self.solver.cache
 
+    def set_predictor(self, predictor) -> None:
+        """Swap the latency predictor pricing the search.
+
+        The mapper, scheduler, and fusion pass all read latencies through
+        the one shared :class:`CoRunningCostModel`, so replacing its
+        predictor re-prices every future evaluation in one move. The online
+        calibration loop uses this to inject a
+        :class:`repro.telemetry.CalibratedPredictor` when the drift
+        detector fires; the cache key tracks the predictor's fingerprint,
+        so calibrated plans never collide with stale ones.
+        """
+        self.cost_model.predictor = predictor
+
+    def _predictor_fingerprint(self) -> str | None:
+        """Cache-key identity of the active latency model (None = oracle)."""
+        predictor = self.cost_model.predictor
+        if predictor is None or not getattr(predictor, "is_fitted", False):
+            return None
+        fingerprint = getattr(predictor, "fingerprint", None)
+        if callable(fingerprint):
+            return fingerprint()
+        return type(predictor).__name__
+
     # ------------------------------------------------------------------
 
     def _cache_key(self, graph_set: GraphSet) -> str:
@@ -215,6 +238,7 @@ class RapPlanner:
             self.exact_fusion,
             self.max_mapping_moves,
             self.solver,
+            predictor_fingerprint=self._predictor_fingerprint(),
         )
 
     def plan(self, graph_set: GraphSet) -> RapPlan:

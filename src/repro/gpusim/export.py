@@ -13,43 +13,12 @@ human can inspect:
 
 from __future__ import annotations
 
-import json
-
+from ..telemetry.chrome import process_metadata_events, trace_json
+from ..telemetry.spans import iteration_span_events
 from .cluster import ClusterIterationResult
 from .device import IterationResult
 
 __all__ = ["to_chrome_trace", "render_gantt"]
-
-
-def _span_events(result: IterationResult, pid: int) -> list[dict]:
-    events: list[dict] = []
-    for span in result.stage_spans:
-        events.append(
-            {
-                "name": span.name,
-                "cat": "training",
-                "ph": "X",
-                "ts": span.t_start,
-                "dur": span.wall_time,
-                "pid": pid,
-                "tid": 0,
-                "args": {"standalone_us": span.standalone_us, "slowdown": span.slowdown},
-            }
-        )
-    for span in result.kernel_spans:
-        events.append(
-            {
-                "name": span.name,
-                "cat": "preprocessing",
-                "ph": "X",
-                "ts": span.t_start,
-                "dur": span.wall_time,
-                "pid": pid,
-                "tid": 1,
-                "args": {"op": span.tag, "overlapped": span.overlapped},
-            }
-        )
-    return events
 
 
 def to_chrome_trace(
@@ -61,6 +30,9 @@ def to_chrome_trace(
     Accepts either a single-GPU :class:`IterationResult` or a whole
     cluster's :class:`ClusterIterationResult` (one ``pid`` per GPU; the
     training stream is ``tid 0``, the preprocessing stream ``tid 1``).
+    All events are built by :mod:`repro.telemetry.chrome` -- the same
+    constructors the runtime span tracer uses -- so one viewer profile
+    reads both artifacts.
     """
     if isinstance(results, ClusterIterationResult):
         per_gpu = results.per_gpu
@@ -68,24 +40,13 @@ def to_chrome_trace(
         per_gpu = [results]
     events: list[dict] = []
     for pid, result in enumerate(per_gpu):
-        # Metadata events carry the reserved "__metadata" category and a
-        # tid so strict viewers (Perfetto) group and sort rows correctly;
-        # process_sort_index pins GPU N to row N regardless of event order.
-        meta_common = {"cat": "__metadata", "ph": "M", "pid": pid, "ts": 0}
-        events.append(
-            {**meta_common, "name": "process_name", "tid": 0, "args": {"name": f"GPU {pid}"}}
+        events.extend(
+            process_metadata_events(
+                pid, f"GPU {pid}", threads={0: "training", 1: "preprocessing"}
+            )
         )
-        events.append(
-            {**meta_common, "name": "process_sort_index", "tid": 0, "args": {"sort_index": pid}}
-        )
-        events.append(
-            {**meta_common, "name": "thread_name", "tid": 0, "args": {"name": "training"}}
-        )
-        events.append(
-            {**meta_common, "name": "thread_name", "tid": 1, "args": {"name": "preprocessing"}}
-        )
-        events.extend(_span_events(result, pid))
-    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent)
+        events.extend(iteration_span_events(result, pid))
+    return trace_json(events, indent=indent)
 
 
 def render_gantt(

@@ -76,18 +76,28 @@ def problem_fingerprint(
 
 @dataclass
 class SolveCacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting for one cache instance.
+
+    ``disk_hits`` counts the subset of ``hits`` served by the persistent
+    tier rather than process memory.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def to_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+        }
 
 
 class SolveCache:
@@ -105,6 +115,24 @@ class SolveCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: dict[str, dict] = {}
         self.stats = SolveCacheStats()
+        self._metrics = None
+
+    def bind_metrics(self, registry, cache: str = "milp") -> None:
+        """Mirror hit/miss/store accounting into a telemetry registry."""
+        self._metrics = registry
+        self._metric_label = cache
+
+    def _count(self, outcome: str, tier: str | None = None) -> None:
+        if self._metrics is None:
+            return
+        labels = {"cache": self._metric_label}
+        if tier is not None:
+            labels["tier"] = tier
+        self._metrics.counter(
+            f"rap_cache_{outcome}_total",
+            help=f"Cache {outcome} by cache and tier",
+            labels=labels,
+        ).inc()
 
     # ------------------------------------------------------------------
 
@@ -114,6 +142,7 @@ class SolveCache:
 
     def get(self, key: str):
         """Return the cached :class:`MilpSolution` for ``key``, or ``None``."""
+        tier = "memory"
         payload = self._memory.get(key)
         if payload is None and self.directory is not None:
             path = self._path(key)
@@ -124,16 +153,22 @@ class SolveCache:
                     payload = None  # treat a torn write as a miss
                 else:
                     self._memory[key] = payload
+                    tier = "disk"
         if payload is None:
             self.stats.misses += 1
+            self._count("misses")
             return None
         self.stats.hits += 1
+        if tier == "disk":
+            self.stats.disk_hits += 1
+        self._count("hits", tier)
         return _solution_from_payload(payload)
 
     def put(self, key: str, solution) -> None:
         payload = _solution_to_payload(solution)
         self._memory[key] = payload
         self.stats.stores += 1
+        self._count("stores")
         if self.directory is not None:
             # Same crash-safety contract as the plan cache: atomic replace
             # under a non-blocking advisory lock, contention downgrades to

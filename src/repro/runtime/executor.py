@@ -31,18 +31,26 @@ Beyond the per-kernel ladder, two whole-run mechanisms live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..baselines.torcharrow import CpuWorkerPool
 from ..core.adaptation import drift_graph_set, scale_plan_kernels
 from ..core.fusion import fit_kernel_to_leftover, shard_by_latency
 from ..core.hybrid import GPU_TO_CPU_SLOWDOWN, cpu_fallback_production_us, degraded_pool
+from ..core.latency_predictor import kernel_features
 from ..core.planner import RapPlan, RapPlanner
 from ..core.serialization import kernel_from_dict, kernel_to_dict, plan_from_json, plan_to_json
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
 from ..preprocessing.executor import DataPreparation
 from ..preprocessing.graph import GraphSet
+from ..telemetry import (
+    CalibrationSample,
+    DriftEvent,
+    LatencyDrift,
+    TelemetrySession,
+    drift_factors_at,
+)
 from .elastic import MembershipChange, clone_planner, reshard_cost_us, surviving_mapping
 from .faults import (
     CPU_POOL_CRASH,
@@ -129,6 +137,8 @@ class FaultTolerantRuntime:
         sequential_fault_threshold: int = 3,
         planner_factory: Callable[[RapPlanner, TrainingWorkload], RapPlanner] | None = None,
         journal: RunJournal | None = None,
+        telemetry: TelemetrySession | None = None,
+        drift_schedule: Sequence[LatencyDrift] = (),
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
@@ -144,6 +154,14 @@ class FaultTolerantRuntime:
         # default clone shares the plan cache and MILP solver.
         self.planner_factory = planner_factory or clone_planner
         self.journal = journal
+        # Telemetry is strictly opt-in: with ``telemetry=None`` no sample is
+        # recorded, no span is emitted, and execution is bit-identical to a
+        # build without the subsystem. ``drift_schedule`` injects per-op-type
+        # latency drift -- the environment change the calibration loop
+        # exists to absorb.
+        self.telemetry = telemetry
+        self.drift_schedule = list(drift_schedule)
+        self._calibrated = False
         # Drift of the live distribution relative to the *active* plan's
         # graph set, and cumulatively relative to the base graph set.
         self._scale = 1.0
@@ -229,6 +247,18 @@ class FaultTolerantRuntime:
                 raise SimulatedKill(i)
             if checkpoints is not None and checkpoint_every > 0 and (i + 1) % checkpoint_every == 0:
                 self.save_checkpoint(checkpoints, report, i + 1)
+        if self.telemetry is not None:
+            self.telemetry.flush(step=start_iteration + num_iterations)
+            if self._calibrated:
+                # The settled before/after view: by run end the residual
+                # windows are dominated by the live regime, unlike the
+                # mid-run snapshot in each "recalibrate" record.
+                self._journal(
+                    "calibration_summary",
+                    mape_raw=round(self.telemetry.predictor_mape, 6),
+                    mape_calibrated=round(self.telemetry.calibrated_mape, 6),
+                    drift_events=len(self.telemetry.drift_events),
+                )
         return report
 
     def run_iteration(
@@ -268,6 +298,7 @@ class FaultTolerantRuntime:
             and self._scale == 1.0
             and not self._cpu_kernels
             and self._pending_recovery_us == 0.0
+            and not drift_factors_at(self.drift_schedule, iteration)
         ):
             # Transparent path: nothing failed, nothing drifted, nothing
             # evicted -- defer to the planner's own evaluation so the
@@ -279,10 +310,27 @@ class FaultTolerantRuntime:
                 exposed_us=report.exposed_preprocessing_us,
                 plan_epoch=epoch,
             )
+            drift_event: DriftEvent | None = None
+            if self.telemetry is not None:
+                # Recording is read-only: each placed kernel contributes its
+                # (predicted, observed) pair, where the observation is the
+                # plan's own modeled duration -- no number changes.
+                self._record_plan_samples(iteration)
+                self.telemetry.record_iteration(
+                    iteration,
+                    report.iteration_us,
+                    report.exposed_preprocessing_us,
+                    per_gpu_results=report.cluster_result.per_gpu,
+                    plan_epoch=epoch,
+                )
+                drift_event = self.telemetry.check_drift(iteration)
             decision = self.watchdog.observe(
                 self.plan.predicted_exposed_us, report.exposed_preprocessing_us, 0
             )
-            if decision.replan:
+            if drift_event is not None:
+                self._recalibrate_and_replan(iteration, drift_event)
+                record = IterationRecord(**{**record.to_dict(), "replanned": True})
+            elif decision.replan:
                 self._replan(iteration)
                 record = IterationRecord(**{**record.to_dict(), "replanned": True})
             return record, [], []
@@ -325,6 +373,13 @@ class FaultTolerantRuntime:
                 pool_fraction = min(pool_fraction, 0.5)
 
         assignments, trailing = scale_plan_kernels(self.plan, self._scale)
+        # Injected per-op-type drift and calibration sampling happen here,
+        # after uniform drift scaling and before fault recovery mutates the
+        # placement: the sample stream reflects what the kernels *would*
+        # run at, undistorted by this iteration's fault handling.
+        drift_factors = drift_factors_at(self.drift_schedule, iteration)
+        if drift_factors or self.telemetry is not None:
+            self._observe_kernels(iteration, assignments, trailing, drift_factors)
         recovery = [0.0] * num_gpus
         retries = 0
         backoff_us = 0.0
@@ -388,14 +443,35 @@ class FaultTolerantRuntime:
         # The watchdog judges the plan against what the plan could predict:
         # kernel-level exposure, not the one-shot reshard constant (the
         # membership change already replanned and reset the window).
+        drift_event: DriftEvent | None = (
+            self.telemetry.check_drift(iteration) if self.telemetry is not None else None
+        )
         decision = self.watchdog.observe(
             self.plan.predicted_exposed_us, exposed_us, len(faults)
         )
-        if decision.replan:
+        replanned = False
+        if drift_event is not None:
+            # Sustained model error beats the exposure watchdog: a plain
+            # replan would reuse the stale predictions, so recalibrate
+            # first and replan once with the corrected model.
+            self._recalibrate_and_replan(iteration, drift_event)
+            replanned = True
+        elif decision.replan:
             self._replan(iteration)
+            replanned = True
 
         iteration_us = max(timeline.iteration_us, cpu_us) + reshard_us
         exposed_us += reshard_us
+
+        if self.telemetry is not None:
+            self.telemetry.record_iteration(
+                iteration,
+                iteration_us,
+                exposed_us,
+                per_gpu_results=result.per_gpu,
+                plan_epoch=epoch,
+                num_faults=total_faults if total_faults is not None else len(faults),
+            )
 
         record = IterationRecord(
             iteration=iteration,
@@ -406,12 +482,12 @@ class FaultTolerantRuntime:
             backoff_us=backoff_us,
             recovery_us=sum(recovery) + reshard_us,
             cpu_fallback_us=cpu_us,
-            replanned=decision.replan or force_replanned,
+            replanned=replanned or force_replanned,
             plan_epoch=epoch,
         )
         return record, faults, transitions
 
-    def _replan(self, iteration: int = -1) -> None:
+    def _replan(self, iteration: int = -1, reason: str = "watchdog") -> None:
         """Regenerate the plan for the live (possibly drifted) distribution.
 
         Goes through the planner's fast path: an unchanged instance is a
@@ -425,12 +501,126 @@ class FaultTolerantRuntime:
         self._cpu_kernels.clear()
         self.watchdog.reset()
         self.plan_epoch += 1
+        if self.telemetry is not None:
+            self.telemetry.note_replan(iteration, reason, self.plan_epoch)
         self._journal(
             "replan",
             iteration=iteration,
+            reason=reason,
             plan_epoch=self.plan_epoch,
             num_gpus=self.workload.num_gpus,
         )
+
+    # ------------------------------------------------------------------
+    # Online calibration
+    # ------------------------------------------------------------------
+
+    def _record_sample(
+        self, iteration: int, kernel: KernelDesc, stage_idx: int, observed_us: float
+    ) -> None:
+        # The base (uncorrected) prediction feeds the residual model -- it
+        # must stay a stable reference or the correction chases its own
+        # output. The active prediction (with any injected correction) is
+        # what the drift detector judges.
+        from ..telemetry import CalibratedPredictor
+
+        predictor = self.planner.cost_model.predictor
+        active = self.planner.cost_model.kernel_latency(kernel)
+        base = (
+            predictor.base_prediction(kernel)
+            if isinstance(predictor, CalibratedPredictor)
+            else active
+        )
+        self.telemetry.record_kernel_sample(
+            CalibrationSample(
+                op_type=kernel.tag,
+                predicted_us=base,
+                observed_us=observed_us,
+                iteration=iteration,
+                stage=stage_idx,
+                features=tuple(kernel_features(kernel)),
+                active_predicted_us=active if active != base else None,
+            )
+        )
+
+    def _record_plan_samples(self, iteration: int) -> None:
+        """Sample every placed kernel on the transparent path (observed ==
+        modeled duration; read-only, so the path stays bit-identical)."""
+        for per_gpu in self.plan.assignments_per_gpu:
+            for stage_idx in sorted(per_gpu):
+                for kernel in per_gpu[stage_idx]:
+                    self._record_sample(iteration, kernel, stage_idx, kernel.duration_us)
+        for trailing in self.plan.trailing_per_gpu:
+            for kernel in trailing:
+                self._record_sample(iteration, kernel, -1, kernel.duration_us)
+
+    def _observe_kernels(
+        self,
+        iteration: int,
+        assignments: list[dict[int, list[KernelDesc]]],
+        trailing: list[list[KernelDesc]],
+        drift_factors: dict[str, float],
+    ) -> None:
+        """Apply injected per-op-type drift in place and record samples.
+
+        The prediction is made against the *planned* kernel (what the cost
+        model knew); the observation is the drifted duration the simulator
+        will actually execute. Fused kernels keep their member op tag, so
+        per-tag factors and corrections compose cleanly.
+        """
+
+        def observe(kernel: KernelDesc, stage_idx: int) -> KernelDesc:
+            factor = drift_factors.get(kernel.tag, 1.0)
+            executed = (
+                kernel
+                if factor == 1.0
+                else kernel.with_duration(kernel.duration_us * factor)
+            )
+            if self.telemetry is not None:
+                self._record_sample(iteration, kernel, stage_idx, executed.duration_us)
+            return executed
+
+        for gpu in range(len(assignments)):
+            for stage_idx in sorted(assignments[gpu]):
+                kernels = assignments[gpu][stage_idx]
+                for i, kernel in enumerate(kernels):
+                    kernels[i] = observe(kernel, stage_idx)
+            trailing[gpu][:] = [observe(k, -1) for k in trailing[gpu]]
+
+    def _recalibrate_and_replan(self, iteration: int, event: DriftEvent) -> None:
+        """Answer a drift detection: inject the calibrated predictor, replan.
+
+        The planner's mapper, scheduler, and watchdog all read latencies
+        through the shared cost model, so swapping its predictor re-prices
+        the entire search space in one move. The calibrated predictor also
+        changes the planner's cache fingerprint, so the replan cannot hit
+        the stale pre-drift cache entry.
+        """
+        calibrated = self.telemetry.calibrated_predictor(
+            self.planner.cost_model.predictor
+        )
+        self.planner.set_predictor(calibrated)
+        self._calibrated = True
+        self.telemetry.publish_corrections()
+        self._journal(
+            "recalibrate",
+            iteration=iteration,
+            op_type=event.worst_op_type,
+            mean_residual=round(event.mean_residual, 6),
+            worst_residual=round(event.worst_residual, 6),
+            mape_before=round(self.telemetry.predictor_mape, 6),
+            mape_after=round(self.telemetry.calibrated_mape, 6),
+            corrections={
+                op: round(c, 6)
+                for op, c in self.telemetry.residual.corrections().items()
+            },
+        )
+        # Fresh detection window against the corrected model: if the
+        # correction only partially absorbed the drift (early windows mix
+        # pre- and post-drift samples), the detector re-fires after another
+        # sustained breach and calibration converges iteratively.
+        self.telemetry.drift_detector.reset()
+        self._replan(iteration, reason="drift")
 
     # ------------------------------------------------------------------
     # Elastic membership
@@ -513,6 +703,8 @@ class FaultTolerantRuntime:
         reshard_us = reshard_cost_us(moved_bytes, spec)
         self._pending_recovery_us += reshard_us
         self.plan_epoch += 1
+        if self.telemetry is not None:
+            self.telemetry.note_replan(iteration, "membership", self.plan_epoch)
         change = MembershipChange(
             iteration=iteration,
             lost_gpu=gpu,
@@ -539,6 +731,14 @@ class FaultTolerantRuntime:
             # GPU-to-CPU throughput gap.
             self._cpu_train_us = self.workload.ideal_iteration_us() * GPU_TO_CPU_SLOWDOWN
         cpu_us = cpu_fallback_production_us(self.pool, self._cpu_kernels, 1)
+        if self.telemetry is not None:
+            self.telemetry.record_iteration(
+                iteration,
+                self._cpu_train_us + cpu_us + pending,
+                cpu_us + pending,
+                plan_epoch=epoch,
+                regime="cpu-only",
+            )
         return IterationRecord(
             iteration=iteration,
             iteration_us=self._cpu_train_us + cpu_us + pending,
@@ -561,7 +761,7 @@ class FaultTolerantRuntime:
         echoes of the injector and workload shape so a resuming process can
         refuse a mismatched configuration instead of silently diverging.
         """
-        return {
+        state = {
             "plan_epoch": self.plan_epoch,
             "scale": self._scale,
             "total_scale": self._total_scale,
@@ -589,6 +789,16 @@ class FaultTolerantRuntime:
                 "local_batch": self.workload.local_batch,
             },
         }
+        # Calibration state rides in the snapshot only when telemetry is
+        # live, keeping telemetry-off checkpoints byte-stable.
+        if self.drift_schedule:
+            state["drift_schedule"] = [d.to_dict() for d in self.drift_schedule]
+        if self.telemetry is not None:
+            state["calibration"] = {
+                "telemetry": self.telemetry.state_dict(),
+                "calibrated": self._calibrated,
+            }
+        return state
 
     def save_checkpoint(
         self,
@@ -620,6 +830,8 @@ class FaultTolerantRuntime:
         sequential_fault_threshold: int = 3,
         planner_factory: Callable[[RapPlanner, TrainingWorkload], RapPlanner] | None = None,
         journal: RunJournal | None = None,
+        telemetry: TelemetrySession | None = None,
+        drift_schedule: Sequence[LatencyDrift] | None = None,
     ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
         """Rebuild a runtime from a checkpoint :class:`Snapshot`.
 
@@ -640,6 +852,10 @@ class FaultTolerantRuntime:
             # workload object; the cpu_only flag governs execution.
         planner = make_planner(live)
         plan = plan_from_json(snapshot.plan_text, live, graph_set)
+        if drift_schedule is None:
+            drift_schedule = [
+                LatencyDrift.from_dict(d) for d in state.get("drift_schedule", ())
+            ]
         runtime = cls(
             planner,
             graph_set,
@@ -651,6 +867,8 @@ class FaultTolerantRuntime:
             sequential_fault_threshold=sequential_fault_threshold,
             planner_factory=planner_factory,
             journal=journal,
+            telemetry=telemetry,
+            drift_schedule=drift_schedule,
         )
         runtime.plan_epoch = int(state.get("plan_epoch", 0))
         runtime._scale = float(state.get("scale", 1.0))
@@ -663,6 +881,17 @@ class FaultTolerantRuntime:
             int(g) for g in state.get("original_ids", range(live.num_gpus))
         ]
         runtime.watchdog.load_state(state.get("watchdog", {}))
+        calibration = state.get("calibration")
+        if calibration is not None and telemetry is not None:
+            telemetry.load_state(calibration.get("telemetry", {}))
+            runtime._calibrated = bool(calibration.get("calibrated", False))
+            if runtime._calibrated:
+                # The killed process was planning with corrected latencies;
+                # resume with the same calibrated predictor so the replayed
+                # trajectory (including any further replans) is identical.
+                planner.set_predictor(
+                    telemetry.calibrated_predictor(planner.cost_model.predictor)
+                )
         report = ResilienceReport.from_dict(snapshot.report)
         next_iteration = int(state.get("next_iteration", snapshot.iteration))
         runtime._journal("resume", iteration=next_iteration, checkpoint=str(snapshot.directory))

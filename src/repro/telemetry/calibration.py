@@ -1,0 +1,491 @@
+"""Online cost-model calibration: the predict -> observe -> recalibrate loop.
+
+RAP's §5 latency predictor is trained offline, so the planner keeps
+trusting stale predictions even when the runtime watches every kernel run
+at a different latency (per-op-type regressions from a driver update, a
+noisy neighbour, a shifted value distribution). Following the continuous
+calibration argument of DLRM performance-model work, this module closes
+the loop:
+
+- the runtime records one :class:`CalibrationSample` per executed kernel:
+  the cost model's prediction next to the simulator's observed latency;
+- :class:`ResidualModel` maintains a per-op-type multiplicative correction
+  from a sliding window of log-ratio residuals (running median by default;
+  a :class:`repro.ml.gbdt.GradientBoostingRegressor` over kernel features
+  when configured and enough samples exist);
+- :class:`CalibratedPredictor` wraps the latency predictor (or the oracle
+  fallback) and applies the correction at prediction time, so the planner,
+  scheduler, and watchdog all consume recalibrated latencies;
+- :class:`DriftDetector` watches the per-iteration mean absolute residual
+  and raises a single edge-triggered event when it stays above threshold
+  for a sustained window -- the runtime answers by injecting the
+  calibrated predictor and replanning.
+
+Everything is deterministic and serializable: corrections are pure
+functions of the sample windows, and the windows ride inside checkpoints
+so a resumed run replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.gbdt import GradientBoostingRegressor
+
+__all__ = [
+    "CalibrationSample",
+    "LatencyDrift",
+    "drift_factors_at",
+    "ResidualModel",
+    "CalibratedPredictor",
+    "DriftDetector",
+    "DriftEvent",
+]
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One (predicted, observed) standalone-latency pair for one kernel.
+
+    ``predicted_us`` is always the *base* model's prediction (oracle or
+    GBDT, never correction-adjusted) so the residual model learns the
+    total multiplier against a stable reference -- recording corrected
+    predictions would make the correction chase its own output.
+    ``active_predicted_us`` is what the currently injected model actually
+    predicted (equal to ``predicted_us`` before any calibration); the
+    drift detector judges *that*, so it quiets down once the correction
+    lands instead of re-firing forever.
+    """
+
+    op_type: str
+    predicted_us: float
+    observed_us: float
+    iteration: int = -1
+    stage: int = -1
+    features: tuple[float, ...] = ()
+    active_predicted_us: float | None = None
+
+    @property
+    def active_us(self) -> float:
+        """The live model's prediction (base prediction if uncalibrated)."""
+        return (
+            self.active_predicted_us
+            if self.active_predicted_us is not None
+            else self.predicted_us
+        )
+
+    @property
+    def log_ratio(self) -> float:
+        """log(observed / base predicted): the multiplicative residual."""
+        return math.log(max(self.observed_us, 1e-9) / max(self.predicted_us, 1e-9))
+
+    @property
+    def abs_relative_error(self) -> float:
+        """Relative error of the *active* model (what drift detection sees)."""
+        return abs(self.observed_us - self.active_us) / max(self.active_us, 1e-9)
+
+    def to_dict(self) -> dict:
+        return {
+            "op_type": self.op_type,
+            "predicted_us": self.predicted_us,
+            "observed_us": self.observed_us,
+            "iteration": self.iteration,
+            "stage": self.stage,
+            "features": list(self.features),
+            "active_predicted_us": self.active_predicted_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationSample":
+        active = data.get("active_predicted_us")
+        return cls(
+            op_type=data["op_type"],
+            predicted_us=float(data["predicted_us"]),
+            observed_us=float(data["observed_us"]),
+            iteration=int(data.get("iteration", -1)),
+            stage=int(data.get("stage", -1)),
+            features=tuple(float(f) for f in data.get("features", ())),
+            active_predicted_us=None if active is None else float(active),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyDrift:
+    """Injected per-op-type latency drift: kernels of ``op_type`` run
+    ``factor`` x their modeled latency from ``start_iteration`` onward
+    (until ``end_iteration``, exclusive, when given).
+
+    This is the environment change the calibration loop is built to
+    absorb: unlike the uniform ``plan_drift`` fault (which rescales the
+    whole distribution and is already handled by graph-set drift), a
+    per-op-type factor is invisible to the planner's inputs -- only the
+    observed-vs-predicted residual stream can reveal it.
+    """
+
+    op_type: str
+    factor: float
+    start_iteration: int = 0
+    end_iteration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("drift factor must be positive")
+        if self.end_iteration is not None and self.end_iteration <= self.start_iteration:
+            raise ValueError("end_iteration must be after start_iteration")
+
+    def active_at(self, iteration: int) -> bool:
+        if iteration < self.start_iteration:
+            return False
+        return self.end_iteration is None or iteration < self.end_iteration
+
+    def to_dict(self) -> dict:
+        return {
+            "op_type": self.op_type,
+            "factor": self.factor,
+            "start_iteration": self.start_iteration,
+            "end_iteration": self.end_iteration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyDrift":
+        return cls(
+            op_type=data["op_type"],
+            factor=float(data["factor"]),
+            start_iteration=int(data.get("start_iteration", 0)),
+            end_iteration=(
+                int(data["end_iteration"]) if data.get("end_iteration") is not None else None
+            ),
+        )
+
+
+def drift_factors_at(schedule, iteration: int) -> dict[str, float]:
+    """The composed per-op-type factors active at ``iteration``."""
+    factors: dict[str, float] = {}
+    for drift in schedule:
+        if drift.active_at(iteration):
+            factors[drift.op_type] = factors.get(drift.op_type, 1.0) * drift.factor
+    return {op: f for op, f in factors.items() if f != 1.0}
+
+
+# ----------------------------------------------------------------------
+# Residual model
+# ----------------------------------------------------------------------
+
+
+class ResidualModel:
+    """Per-op-type multiplicative correction learned from residual windows.
+
+    ``mode="quantile"`` (default): the correction for an op type is
+    ``exp(median(log(observed / predicted)))`` over its sliding window --
+    robust to the occasional contended or faulted sample and exact for the
+    dominant failure mode (a constant per-op-type factor).
+
+    ``mode="gbdt"``: once an op type has at least ``min_fit_samples``
+    windowed samples with feature vectors, a gradient-boosted regressor
+    maps kernel features to the log-residual, capturing *shape-dependent*
+    drift; op types below the threshold fall back to the quantile
+    correction. Fitting is deterministic (fixed ``random_state``) and
+    refit lazily whenever the window content changes.
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        min_samples: int = 8,
+        mode: str = "quantile",
+        min_fit_samples: int = 64,
+        clip: float = 32.0,
+    ) -> None:
+        if mode not in ("quantile", "gbdt"):
+            raise ValueError(f"mode must be 'quantile' or 'gbdt', got {mode!r}")
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        if clip <= 1.0:
+            raise ValueError("clip must exceed 1.0")
+        self.window = window
+        self.min_samples = min_samples
+        self.mode = mode
+        self.min_fit_samples = min_fit_samples
+        self.clip = clip
+        self._samples: dict[str, deque[CalibrationSample]] = {}
+        self._gbdt: dict[str, GradientBoostingRegressor] = {}
+        self._gbdt_stale: set[str] = set()
+        self.total_samples = 0
+
+    # ------------------------------------------------------------------
+
+    def record(self, sample: CalibrationSample) -> None:
+        window = self._samples.setdefault(
+            sample.op_type, deque(maxlen=self.window)
+        )
+        window.append(sample)
+        self._gbdt_stale.add(sample.op_type)
+        self.total_samples += 1
+
+    def op_types(self) -> list[str]:
+        return sorted(self._samples)
+
+    def samples_for(self, op_type: str) -> list[CalibrationSample]:
+        return list(self._samples.get(op_type, ()))
+
+    # ------------------------------------------------------------------
+
+    def correction(self, op_type: str) -> float:
+        """The multiplicative correction for one op type (1.0 = trust base)."""
+        window = self._samples.get(op_type)
+        if window is None or len(window) < self.min_samples:
+            return 1.0
+        log_ratios = sorted(s.log_ratio for s in window)
+        n = len(log_ratios)
+        mid = n // 2
+        median = log_ratios[mid] if n % 2 else 0.5 * (log_ratios[mid - 1] + log_ratios[mid])
+        return float(min(self.clip, max(1.0 / self.clip, math.exp(median))))
+
+    def corrections(self) -> dict[str, float]:
+        return {op: self.correction(op) for op in self.op_types()}
+
+    def correct(self, op_type: str, predicted_us: float, features=()) -> float:
+        """Apply the learned residual to one base prediction."""
+        if self.mode == "gbdt":
+            model = self._gbdt_model(op_type)
+            if model is not None and features:
+                log_corr = float(model.predict(np.asarray([features], dtype=float))[0])
+                bounded = min(math.log(self.clip), max(-math.log(self.clip), log_corr))
+                return predicted_us * math.exp(bounded)
+        return predicted_us * self.correction(op_type)
+
+    def _gbdt_model(self, op_type: str) -> GradientBoostingRegressor | None:
+        window = self._samples.get(op_type)
+        if window is None or len(window) < self.min_fit_samples:
+            return None
+        rows = [s for s in window if s.features]
+        if len(rows) < self.min_fit_samples:
+            return None
+        if op_type in self._gbdt_stale or op_type not in self._gbdt:
+            x = np.asarray([s.features for s in rows], dtype=float)
+            y = np.asarray([s.log_ratio for s in rows], dtype=float)
+            model = GradientBoostingRegressor(
+                n_estimators=40, max_depth=3, learning_rate=0.2, random_state=0
+            )
+            model.fit(x, y)
+            self._gbdt[op_type] = model
+            self._gbdt_stale.discard(op_type)
+        return self._gbdt[op_type]
+
+    # ------------------------------------------------------------------
+
+    def mean_absolute_percentage_error(self, corrected: bool = False) -> float:
+        """MAPE of the base (or corrected) predictions over all windows."""
+        errors: list[float] = []
+        for op_type, window in self._samples.items():
+            for s in window:
+                pred = (
+                    self.correct(op_type, s.predicted_us, s.features)
+                    if corrected
+                    else s.predicted_us
+                )
+                errors.append(abs(s.observed_us - pred) / max(s.observed_us, 1e-9))
+        return float(sum(errors) / len(errors)) if errors else 0.0
+
+    def fingerprint(self) -> str:
+        """Content hash of the current corrections (plan-cache key input)."""
+        payload = json.dumps(
+            {op: round(c, 12) for op, c in self.corrections().items()}, sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "min_samples": self.min_samples,
+            "mode": self.mode,
+            "min_fit_samples": self.min_fit_samples,
+            "clip": self.clip,
+            "total_samples": self.total_samples,
+            "samples": {
+                op: [s.to_dict() for s in window]
+                for op, window in sorted(self._samples.items())
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.window = int(state.get("window", self.window))
+        self.min_samples = int(state.get("min_samples", self.min_samples))
+        self.mode = state.get("mode", self.mode)
+        self.min_fit_samples = int(state.get("min_fit_samples", self.min_fit_samples))
+        self.clip = float(state.get("clip", self.clip))
+        self.total_samples = int(state.get("total_samples", 0))
+        self._samples = {
+            op: deque(
+                (CalibrationSample.from_dict(s) for s in samples), maxlen=self.window
+            )
+            for op, samples in state.get("samples", {}).items()
+        }
+        self._gbdt = {}
+        self._gbdt_stale = set(self._samples)
+
+
+# ----------------------------------------------------------------------
+# Calibrated predictor
+# ----------------------------------------------------------------------
+
+
+class CalibratedPredictor:
+    """The latency predictor with the online residual correction applied.
+
+    Wraps either a fitted :class:`repro.core.PreprocessingLatencyPredictor`
+    or the oracle fallback (``base=None``: the kernel's own modeled
+    latency, mirroring :meth:`repro.core.CoRunningCostModel.kernel_latency`).
+    Duck-types the predictor protocol (``predict_kernel`` /
+    ``predict_total`` / ``is_fitted``) so it drops into the cost model,
+    the scheduler, and the mapper unchanged.
+    """
+
+    def __init__(self, base, residual: ResidualModel) -> None:
+        self.base = base
+        self.residual = residual
+
+    @property
+    def is_fitted(self) -> bool:
+        # Corrections apply even in oracle mode; the wrapper is "fitted"
+        # as soon as it exists so the cost model routes through it.
+        return True
+
+    def base_prediction(self, kernel) -> float:
+        if self.base is not None and getattr(self.base, "is_fitted", False):
+            return self.base.predict_kernel(kernel)
+        return kernel.duration_us
+
+    def predict_kernel(self, kernel) -> float:
+        from ..core.latency_predictor import kernel_features
+
+        return self.residual.correct(
+            kernel.tag, self.base_prediction(kernel), kernel_features(kernel)
+        )
+
+    def predict_total(self, kernels) -> float:
+        return sum(self.predict_kernel(k) for k in kernels)
+
+    def fingerprint(self) -> str:
+        """Cache-key contribution: base identity plus current corrections."""
+        base_token = "oracle"
+        if self.base is not None:
+            base_fp = getattr(self.base, "fingerprint", None)
+            base_token = base_fp() if callable(base_fp) else repr(type(self.base).__name__)
+        return f"calibrated:{base_token}:{self.residual.fingerprint()}"
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One edge-triggered detection of sustained cost-model drift."""
+
+    iteration: int
+    mean_residual: float
+    worst_op_type: str
+    worst_residual: float
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "mean_residual": self.mean_residual,
+            "worst_op_type": self.worst_op_type,
+            "worst_residual": self.worst_residual,
+        }
+
+
+@dataclass
+class DriftDetector:
+    """Sustained-|residual| detector over per-iteration aggregates.
+
+    Each iteration contributes the *worst per-op-type* mean absolute
+    relative residual of its kernel samples -- per-op, not the all-sample
+    mean, because one drifted op among many healthy ones would otherwise
+    be diluted below any usable threshold. When every entry of the last
+    ``window`` iterations exceeds ``threshold`` -- a sustained breach, not
+    a spike -- the detector fires once (edge-triggered) and stays quiet
+    until the signal drops below threshold and re-arms. The runtime treats
+    a firing as a watchdog event: recalibrate, then replan.
+    """
+
+    threshold: float = 0.25
+    window: int = 3
+    _history: deque = field(default_factory=deque, repr=False)
+    _armed: bool = field(default=True, repr=False)
+    _per_op_last: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    def observe_iteration(
+        self, iteration: int, samples: list[CalibrationSample]
+    ) -> DriftEvent | None:
+        """Feed one iteration's samples; maybe raise the drift event."""
+        if not samples:
+            return None
+        per_op: dict[str, list[float]] = {}
+        for s in samples:
+            per_op.setdefault(s.op_type, []).append(s.abs_relative_error)
+        self._per_op_last = {
+            op: sum(errs) / len(errs) for op, errs in per_op.items()
+        }
+        signal = max(self._per_op_last.values())
+        self._history.append(signal)
+        while len(self._history) > self.window:
+            self._history.popleft()
+
+        sustained = (
+            len(self._history) == self.window
+            and min(self._history) > self.threshold
+        )
+        if not sustained:
+            if signal <= self.threshold:
+                self._armed = True
+            return None
+        if not self._armed:
+            return None
+        self._armed = False
+        worst_op, worst = max(self._per_op_last.items(), key=lambda kv: kv[1])
+        mean_residual = sum(s.abs_relative_error for s in samples) / len(samples)
+        return DriftEvent(
+            iteration=iteration,
+            mean_residual=mean_residual,
+            worst_op_type=worst_op,
+            worst_residual=worst,
+        )
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._per_op_last = {}
+        self._armed = True
+
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "history": list(self._history),
+            "armed": self._armed,
+            "per_op_last": dict(self._per_op_last),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._history = deque(float(v) for v in state.get("history", ()))
+        self._armed = bool(state.get("armed", True))
+        self._per_op_last = {
+            str(k): float(v) for k, v in state.get("per_op_last", {}).items()
+        }

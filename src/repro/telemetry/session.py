@@ -1,0 +1,237 @@
+"""TelemetrySession: one handle bundling metrics, tracing, and calibration.
+
+The runtime (and the CLI behind it) talks to telemetry through this single
+object: it owns the :class:`repro.telemetry.registry.MetricsRegistry`, the
+span :class:`repro.telemetry.spans.Tracer`, the
+:class:`repro.telemetry.calibration.ResidualModel`, and the
+:class:`repro.telemetry.calibration.DriftDetector`, and knows how to
+publish all of them as crash-safe artifacts (``metrics.prom``,
+``metrics.jsonl``, ``trace.json``) in a metrics directory.
+
+When telemetry is disabled the runtime simply carries ``telemetry=None``
+and never touches any of this -- the zero-cost-when-off contract is "no
+object, no calls", not a null-object that still burns cycles.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .calibration import (
+    CalibratedPredictor,
+    CalibrationSample,
+    DriftDetector,
+    DriftEvent,
+    ResidualModel,
+)
+from .exposition import JsonlMetricsSink, to_prometheus_text, write_prometheus
+from .registry import DEFAULT_LATENCY_BUCKETS_US, MetricsRegistry
+from .spans import Tracer
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Aggregates the telemetry subsystem behind one runtime-facing API."""
+
+    def __init__(
+        self,
+        metrics_dir: str | Path | None = None,
+        residual: ResidualModel | None = None,
+        drift_detector: DriftDetector | None = None,
+    ) -> None:
+        self.metrics_dir = Path(metrics_dir) if metrics_dir is not None else None
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.residual = residual if residual is not None else ResidualModel()
+        self.drift_detector = (
+            drift_detector if drift_detector is not None else DriftDetector()
+        )
+        self.drift_events: list[DriftEvent] = []
+        self._iteration_samples: list[CalibrationSample] = []
+        self._jsonl: JsonlMetricsSink | None = (
+            JsonlMetricsSink(self.metrics_dir / "metrics.jsonl")
+            if self.metrics_dir is not None
+            else None
+        )
+        # Instruments shared across the run; per-label children are created
+        # lazily at first observation.
+        self._iteration_hist = self.registry.histogram(
+            "rap_iteration_latency_us",
+            help="Simulated end-to-end iteration latency",
+            buckets=DEFAULT_LATENCY_BUCKETS_US,
+        )
+        self._exposed_hist = self.registry.histogram(
+            "rap_exposed_preprocessing_us",
+            help="Simulated exposed (non-overlapped) preprocessing latency",
+            buckets=DEFAULT_LATENCY_BUCKETS_US,
+        )
+        self._iterations = self.registry.counter(
+            "rap_iterations_total", help="Iterations executed"
+        )
+        self._drift_counter = self.registry.counter(
+            "rap_drift_events_total", help="Drift detector firings"
+        )
+
+    # ------------------------------------------------------------------
+    # Sample recording
+
+    def record_kernel_sample(self, sample: CalibrationSample) -> None:
+        """Record one (predicted, observed) kernel latency pair."""
+        self.residual.record(sample)
+        self._iteration_samples.append(sample)
+        self.registry.histogram(
+            "rap_kernel_observed_us",
+            help="Observed standalone kernel latency by op type",
+            labels={"op": sample.op_type},
+        ).observe(sample.observed_us)
+        self.registry.counter(
+            "rap_calibration_samples_total",
+            help="Calibration samples recorded by op type",
+            labels={"op": sample.op_type},
+        ).inc()
+
+    def record_iteration(
+        self,
+        iteration: int,
+        iteration_us: float,
+        exposed_us: float,
+        per_gpu_results=(),
+        **span_args,
+    ) -> None:
+        """Record one iteration's aggregates and its trace spans."""
+        self._iterations.inc()
+        self._iteration_hist.observe(iteration_us)
+        self._exposed_hist.observe(exposed_us)
+        self.tracer.record_iteration(
+            iteration,
+            iteration_us,
+            per_gpu_results=per_gpu_results,
+            exposed_us=exposed_us,
+            **span_args,
+        )
+
+    def check_drift(self, iteration: int) -> DriftEvent | None:
+        """Run the drift detector over this iteration's samples and reset."""
+        samples, self._iteration_samples = self._iteration_samples, []
+        event = self.drift_detector.observe_iteration(iteration, samples)
+        if event is not None:
+            self.drift_events.append(event)
+            self._drift_counter.inc()
+            self.tracer.instant(
+                f"drift detected ({event.worst_op_type})",
+                "calibration",
+                mean_residual=event.mean_residual,
+                worst_op=event.worst_op_type,
+                worst_residual=event.worst_residual,
+            )
+        return event
+
+    def note_replan(self, iteration: int, reason: str, plan_epoch: int) -> None:
+        self.registry.counter(
+            "rap_replans_total", help="Replans by trigger", labels={"reason": reason}
+        ).inc()
+        self.registry.gauge("rap_plan_epoch", help="Current plan epoch").set(plan_epoch)
+        self.tracer.instant(f"replan ({reason})", "runtime", plan_epoch=plan_epoch)
+
+    def publish_corrections(self) -> None:
+        """Expose the current per-op-type corrections as gauges."""
+        for op, correction in self.residual.corrections().items():
+            self.registry.gauge(
+                "rap_calibration_correction",
+                help="Multiplicative latency correction by op type",
+                labels={"op": op},
+            ).set(correction)
+
+    # ------------------------------------------------------------------
+    # Calibration handles
+
+    def calibrated_predictor(self, base) -> CalibratedPredictor:
+        """The base predictor wrapped with the current residual model."""
+        if isinstance(base, CalibratedPredictor):
+            base = base.base  # never stack corrections
+        return CalibratedPredictor(base, self.residual)
+
+    @property
+    def predictor_mape(self) -> float:
+        return self.residual.mean_absolute_percentage_error(corrected=False)
+
+    @property
+    def calibrated_mape(self) -> float:
+        return self.residual.mean_absolute_percentage_error(corrected=True)
+
+    # ------------------------------------------------------------------
+    # Artifacts
+
+    def flush(self, step: int | None = None) -> None:
+        """Publish current metrics to the metrics directory (if configured)."""
+        if self.metrics_dir is None:
+            return
+        self.metrics_dir.mkdir(parents=True, exist_ok=True)
+        self.publish_corrections()
+        write_prometheus(self.metrics_dir / "metrics.prom", self.registry)
+        if self._jsonl is not None:
+            self._jsonl.flush(self.registry, step=step)
+
+    def write_artifacts(self, step: int | None = None) -> dict[str, Path]:
+        """Publish metrics and the Chrome trace; returns the artifact paths."""
+        if self.metrics_dir is None:
+            return {}
+        self.flush(step=step)
+        trace_path = self.metrics_dir / "trace.json"
+        from ..ioutil import atomic_write_text
+
+        atomic_write_text(trace_path, self.tracer.to_chrome_trace(indent=2))
+        return {
+            "prometheus": self.metrics_dir / "metrics.prom",
+            "jsonl": self.metrics_dir / "metrics.jsonl",
+            "trace": trace_path,
+        }
+
+    def prometheus_text(self) -> str:
+        self.publish_corrections()
+        return to_prometheus_text(self.registry)
+
+    def summary_lines(self) -> list[str]:
+        """A compact human-readable metrics summary for the CLI exit path."""
+        lines = [
+            f"iterations: {int(self._iterations.value)}",
+            f"calibration samples: {self.residual.total_samples}",
+            f"drift events: {len(self.drift_events)}",
+        ]
+        if self.residual.total_samples:
+            lines.append(
+                f"predictor MAPE: {self.predictor_mape:.3f} raw"
+                f" -> {self.calibrated_mape:.3f} calibrated"
+            )
+        corrections = {
+            op: c for op, c in self.residual.corrections().items() if c != 1.0
+        }
+        if corrections:
+            formatted = ", ".join(f"{op}={c:.3f}" for op, c in sorted(corrections.items()))
+            lines.append(f"active corrections: {formatted}")
+        if self._iteration_hist.count:
+            mean = self._iteration_hist.sum / self._iteration_hist.count
+            lines.append(f"mean iteration latency: {mean:.1f} us")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Checkpointing: calibration state rides inside runtime snapshots so a
+    # resumed run replays (and keeps calibrating) bit-identically.
+
+    def state_dict(self) -> dict:
+        return {
+            "residual": self.residual.state_dict(),
+            "drift_detector": self.drift_detector.state_dict(),
+            "drift_events": [e.to_dict() for e in self.drift_events],
+            "tracer": self.tracer.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.residual.load_state(state.get("residual", {}))
+        self.drift_detector.load_state(state.get("drift_detector", {}))
+        self.drift_events = [
+            DriftEvent(**e) for e in state.get("drift_events", ())
+        ]
+        self.tracer.load_state(state.get("tracer", {}))
+        self._iteration_samples = []

@@ -191,3 +191,76 @@ class TestIncrementalReplan:
         incremental = planner.replan(drifted, previous=base)
         scratch = RapPlanner(workload).plan(drifted)
         assert incremental.predicted_exposed_us <= scratch.predicted_exposed_us * 1.10 + 1.0
+
+
+class TestCacheTelemetry:
+    """Satellite: hit/miss/disk-tier accounting flows into the registry."""
+
+    def test_disk_hits_counted_separately(self, setting, tmp_path):
+        graphs, workload = setting
+        RapPlanner(workload, cache=PlanCache(tmp_path)).plan(graphs)
+        fresh = RapPlanner(workload, cache=PlanCache(tmp_path))
+        fresh.plan(graphs)  # disk hit (fresh process memory)
+        fresh.plan(graphs)  # memory hit
+        assert fresh.cache.stats.hits == 2
+        assert fresh.cache.stats.disk_hits == 1
+        assert fresh.cache.stats.to_dict()["disk_hits"] == 1
+
+    def test_bind_metrics_mirrors_counts(self, setting, tmp_path):
+        from repro.telemetry import MetricsRegistry
+
+        graphs, workload = setting
+        RapPlanner(workload, cache=PlanCache(tmp_path)).plan(graphs)
+        registry = MetricsRegistry()
+        cache = PlanCache(tmp_path)
+        cache.bind_metrics(registry, cache="plan")
+        planner = RapPlanner(workload, cache=cache)
+        planner.plan(graphs)  # disk hit
+        planner.plan(graphs)  # memory hit
+        by_labels = {}
+        for name, _, _, children in registry.families():
+            for child in children:
+                by_labels[(name, tuple(sorted(child.labels.items())))] = child.value
+        assert by_labels[
+            ("rap_cache_hits_total", (("cache", "plan"), ("tier", "disk")))
+        ] == 1.0
+        assert by_labels[
+            ("rap_cache_hits_total", (("cache", "plan"), ("tier", "memory")))
+        ] == 1.0
+
+    def test_unbound_cache_needs_no_registry(self, setting):
+        graphs, workload = setting
+        planner = RapPlanner(workload, cache=PlanCache())
+        planner.plan(graphs)
+        planner.plan(graphs)
+        assert planner.stats.cache_hits == 1  # no registry, no crash
+
+
+class TestPredictorFingerprintKeys:
+    def test_fingerprint_changes_key(self, setting):
+        graphs, workload = setting
+        base = make_key(workload, graphs)
+        calibrated = make_key(workload, graphs, predictor_fingerprint="calibrated:x:y")
+        assert base != calibrated
+
+    def test_same_fingerprint_same_key(self, setting):
+        graphs, workload = setting
+        a = make_key(workload, graphs, predictor_fingerprint="f")
+        b = make_key(workload, graphs, predictor_fingerprint="f")
+        assert a == b
+
+    def test_recalibrated_planner_does_not_reuse_stale_plan(self, setting):
+        from repro.telemetry import CalibrationSample, ResidualModel, TelemetrySession
+
+        graphs, workload = setting
+        planner = RapPlanner(workload, cache=PlanCache())
+        planner.plan(graphs)
+        telemetry = TelemetrySession(residual=ResidualModel())
+        for i in range(16):
+            telemetry.residual.record(
+                CalibrationSample("Clamp", 100.0, 250.0, iteration=i)
+            )
+        planner.set_predictor(telemetry.calibrated_predictor(None))
+        planner.plan(graphs)
+        assert planner.stats.cache_hits == 0
+        assert planner.stats.cache_misses == 2

@@ -109,3 +109,34 @@ class TestSolveCache:
         assert len(files) == 1
         payload = json.loads(files[0].read_text())
         assert set(payload) == {"status", "x", "objective", "nodes_explored", "gap"}
+
+
+class TestSolveCacheTelemetry:
+    def test_disk_hits_counted_separately(self, tmp_path):
+        p = knapsack([5, 4], [3, 3], 3)
+        BranchAndBoundSolver(cache=SolveCache(tmp_path)).solve(p)
+        warm = SolveCache(tmp_path)
+        solver = BranchAndBoundSolver(cache=warm)
+        solver.solve(p)  # disk hit
+        solver.solve(p)  # memory hit
+        assert warm.stats.hits == 2
+        assert warm.stats.disk_hits == 1
+        assert warm.stats.to_dict()["disk_hits"] == 1
+
+    def test_bind_metrics_mirrors_counts(self, tmp_path):
+        from repro.telemetry import MetricsRegistry
+
+        p = knapsack([5, 4], [3, 3], 3)
+        BranchAndBoundSolver(cache=SolveCache(tmp_path)).solve(p)
+        registry = MetricsRegistry()
+        warm = SolveCache(tmp_path)
+        warm.bind_metrics(registry, cache="milp")
+        solver = BranchAndBoundSolver(cache=warm)
+        solver.solve(p)
+        solver.solve(p)
+        values = {}
+        for name, _, _, children in registry.families():
+            for child in children:
+                values[(name, child.labels.get("tier"))] = child.value
+        assert values[("rap_cache_hits_total", "disk")] == 1.0
+        assert values[("rap_cache_hits_total", "memory")] == 1.0

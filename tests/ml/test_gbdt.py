@@ -87,3 +87,45 @@ class TestGradientBoostingRegressor:
         model = GradientBoostingRegressor(n_estimators=20).fit(x, y)
         imp = model.feature_importances()
         assert imp[1] == imp.max()
+
+
+class TestEdgeCases:
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(np.ones((1, 3)), np.ones(1))
+
+    def test_constant_target_predicts_constant(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((50, 3))
+        model = GradientBoostingRegressor(n_estimators=5).fit(x, np.full(50, 7.0))
+        np.testing.assert_allclose(model.predict(rng.random((8, 3))), 7.0)
+
+    def test_two_samples_fit(self):
+        # The smallest legal training set: must fit and predict in-range.
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([1.0, 2.0])
+        model = GradientBoostingRegressor(n_estimators=10, learning_rate=1.0).fit(x, y)
+        pred = model.predict(x)
+        assert np.all(np.isfinite(pred))
+        assert np.all((pred >= 1.0 - 1e-9) & (pred <= 2.0 + 1e-9))
+
+    def test_monotone_under_residual_correction(self):
+        """A constant multiplicative correction -- the residual model's
+        output -- must preserve the ordering of GBDT predictions, so a
+        calibrated predictor never reverses the planner's kernel ranking."""
+        from repro.telemetry import CalibrationSample, ResidualModel
+
+        x, y = smooth_data(600)
+        model = GradientBoostingRegressor(n_estimators=40).fit(x, y)
+        preds = sorted(float(p) for p in model.predict(x[:50]) if p > 0)
+        residual = ResidualModel()
+        for i in range(16):
+            residual.record(CalibrationSample("Clamp", 100.0, 230.0, iteration=i))
+        corrected = [residual.correct("Clamp", p) for p in preds]
+        assert corrected == sorted(corrected)
+        for raw, cal in zip(preds, corrected):
+            assert cal == pytest.approx(raw * 2.3)

@@ -1,0 +1,192 @@
+"""Runtime <-> telemetry integration: bit-identity when off, drift-triggered
+recalibration and replanning, and checkpoint resume with calibration state."""
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+from repro.runtime import CheckpointManager, FaultTolerantRuntime, SimulatedKill
+from repro.telemetry import (
+    CalibratedPredictor,
+    DriftDetector,
+    LatencyDrift,
+    TelemetrySession,
+)
+
+NUM_GPUS = 2
+BATCH = 1024
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=BATCH)
+    workload = TrainingWorkload(
+        model_for_plan(graphs, schema), num_gpus=NUM_GPUS, local_batch=BATCH
+    )
+    return graphs, workload
+
+
+def make_runtime(setting, telemetry=None, drift_schedule=()):
+    graphs, workload = setting
+    planner = RapPlanner(workload)
+    return FaultTolerantRuntime(
+        planner, graphs, telemetry=telemetry, drift_schedule=drift_schedule
+    )
+
+
+def report_latencies(report):
+    return [(r.iteration, r.iteration_us, r.exposed_us) for r in report.iterations]
+
+
+class TestZeroCostWhenOff:
+    def test_telemetry_off_matches_no_telemetry(self, setting):
+        """--no-telemetry runs are bit-identical to telemetry-enabled runs
+        when nothing drifts: recording is read-only."""
+        plain = make_runtime(setting).run(6)
+        instrumented = make_runtime(setting, telemetry=TelemetrySession()).run(6)
+        assert report_latencies(plain) == report_latencies(instrumented)
+
+    def test_telemetry_off_checkpoint_state_unchanged(self, setting):
+        with_t = make_runtime(setting, telemetry=TelemetrySession())
+        without = make_runtime(setting)
+        without.run(3)
+        with_t.run(3)
+        assert "calibration" not in without.state_dict()
+        assert "drift_schedule" not in without.state_dict()
+        assert "calibration" in with_t.state_dict()
+
+    def test_oracle_predictions_keep_detector_quiet(self, setting):
+        telemetry = TelemetrySession()
+        make_runtime(setting, telemetry=telemetry).run(6)
+        assert telemetry.drift_events == []
+        assert telemetry.residual.total_samples > 0
+        # Oracle predictions match the simulator exactly: no corrections.
+        assert all(c == 1.0 for c in telemetry.residual.corrections().values())
+
+
+class TestDriftAdaptation:
+    def test_drift_fires_detector_and_replans(self, setting):
+        telemetry = TelemetrySession(drift_detector=DriftDetector(threshold=0.25, window=3))
+        runtime = make_runtime(
+            setting,
+            telemetry=telemetry,
+            drift_schedule=[LatencyDrift("Clamp", 2.5, start_iteration=2)],
+        )
+        report = runtime.run(10)
+        assert len(telemetry.drift_events) >= 1
+        assert telemetry.drift_events[0].worst_op_type == "Clamp"
+        assert report.replans >= 1
+        assert runtime._calibrated
+        predictor = runtime.planner.cost_model.predictor
+        assert isinstance(predictor, CalibratedPredictor)
+        assert predictor.residual.correction("Clamp") == pytest.approx(2.5, rel=0.01)
+
+    def test_drift_visible_only_through_observations(self, setting):
+        """A per-op factor hides under training overlap -- iteration latency
+        barely moves -- so only the observed-vs-predicted residual stream
+        reveals it. This is exactly why the calibration loop exists."""
+        telemetry = TelemetrySession()
+        make_runtime(
+            setting,
+            telemetry=telemetry,
+            drift_schedule=[LatencyDrift("Clamp", 3.0, start_iteration=0)],
+        ).run(4)
+        clamp = telemetry.residual.samples_for("Clamp")
+        assert clamp
+        for s in clamp:
+            assert s.observed_us == pytest.approx(3.0 * s.predicted_us)
+        other = telemetry.residual.samples_for("FillNull")
+        for s in other:
+            assert s.observed_us == pytest.approx(s.predicted_us)
+
+    def test_drift_window_expires(self, setting):
+        telemetry = TelemetrySession()
+        runtime = make_runtime(
+            setting,
+            telemetry=telemetry,
+            drift_schedule=[LatencyDrift("Clamp", 2.5, start_iteration=1, end_iteration=3)],
+        )
+        report = runtime.run(8)
+        # After the window closes the run returns to the transparent path:
+        # late iterations match an undisturbed run's latencies.
+        plain = make_runtime(setting).run(8)
+        assert report.iterations[-1].iteration_us == pytest.approx(
+            plain.iterations[-1].iteration_us
+        )
+
+    def test_calibration_reduces_mape(self, setting):
+        telemetry = TelemetrySession()
+        make_runtime(
+            setting,
+            telemetry=telemetry,
+            drift_schedule=[LatencyDrift("Clamp", 2.5, start_iteration=0)],
+        ).run(8)
+        assert telemetry.calibrated_mape < telemetry.predictor_mape
+
+
+class TestCheckpointResumeWithCalibration:
+    def run_with_kill(self, setting, tmp_path, kill_after):
+        graphs, workload = setting
+        schedule = [LatencyDrift("Clamp", 2.5, start_iteration=2)]
+        telemetry = TelemetrySession()
+        runtime = make_runtime(setting, telemetry=telemetry, drift_schedule=schedule)
+        manager = CheckpointManager(tmp_path)
+        try:
+            runtime.run(12, checkpoints=manager, checkpoint_every=2, kill_after=kill_after)
+        except SimulatedKill:
+            pass
+        resumed_telemetry = TelemetrySession()
+        restored, report, next_iteration = FaultTolerantRuntime.restore(
+            manager.latest(),
+            graphs,
+            workload,
+            make_planner=RapPlanner,
+            telemetry=resumed_telemetry,
+        )
+        report = restored.run(
+            12 - next_iteration, start_iteration=next_iteration, report=report
+        )
+        return report, restored, resumed_telemetry
+
+    def test_resume_replays_bit_identically(self, setting, tmp_path):
+        telemetry = TelemetrySession()
+        uninterrupted = make_runtime(
+            setting,
+            telemetry=telemetry,
+            drift_schedule=[LatencyDrift("Clamp", 2.5, start_iteration=2)],
+        ).run(12)
+        resumed_report, _, _ = self.run_with_kill(setting, tmp_path, kill_after=7)
+        assert report_latencies(resumed_report) == report_latencies(uninterrupted)
+
+    def test_resume_restores_calibration_state(self, setting, tmp_path):
+        _, restored, resumed_telemetry = self.run_with_kill(
+            setting, tmp_path, kill_after=7
+        )
+        # The kill lands after the drift fired at ~iteration 4, so the
+        # restored runtime must come back already calibrated.
+        assert restored._calibrated
+        predictor = restored.planner.cost_model.predictor
+        assert isinstance(predictor, CalibratedPredictor)
+        assert predictor.residual is resumed_telemetry.residual
+
+    def test_resume_echo_restores_drift_schedule(self, setting, tmp_path):
+        graphs, workload = setting
+        schedule = [LatencyDrift("Clamp", 2.5, start_iteration=2)]
+        runtime = make_runtime(
+            setting, telemetry=TelemetrySession(), drift_schedule=schedule
+        )
+        manager = CheckpointManager(tmp_path)
+        try:
+            runtime.run(12, checkpoints=manager, checkpoint_every=2, kill_after=5)
+        except SimulatedKill:
+            pass
+        # No explicit schedule on restore: the checkpoint echo supplies it.
+        restored, _, _ = FaultTolerantRuntime.restore(
+            manager.latest(),
+            graphs,
+            workload,
+            make_planner=RapPlanner,
+            telemetry=TelemetrySession(),
+        )
+        assert restored.drift_schedule == schedule

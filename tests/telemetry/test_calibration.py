@@ -1,0 +1,278 @@
+"""Residual model, calibrated predictor, drift schedule, drift detector."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    CalibratedPredictor,
+    CalibrationSample,
+    DriftDetector,
+    LatencyDrift,
+    ResidualModel,
+    drift_factors_at,
+)
+
+
+def samples(op, factor, n=16, base=100.0, start_iter=0):
+    return [
+        CalibrationSample(
+            op_type=op,
+            predicted_us=base,
+            observed_us=base * factor,
+            iteration=start_iter + i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCalibrationSample:
+    def test_log_ratio_uses_base_prediction(self):
+        s = CalibrationSample("Clamp", predicted_us=100.0, observed_us=250.0)
+        assert s.log_ratio == pytest.approx(math.log(2.5))
+
+    def test_drift_error_uses_active_prediction(self):
+        # Base says 100, the corrected (active) model says 250, observed 250:
+        # residual learning still sees the 2.5x gap, drift detection sees none.
+        s = CalibrationSample(
+            "Clamp", predicted_us=100.0, observed_us=250.0, active_predicted_us=250.0
+        )
+        assert s.log_ratio == pytest.approx(math.log(2.5))
+        assert s.abs_relative_error == pytest.approx(0.0)
+
+    def test_dict_round_trip(self):
+        s = CalibrationSample(
+            "Logit", 10.0, 12.0, iteration=4, stage=1, features=(1.0, 2.0),
+            active_predicted_us=11.0,
+        )
+        assert CalibrationSample.from_dict(s.to_dict()) == s
+
+
+class TestLatencyDrift:
+    def test_window_semantics(self):
+        d = LatencyDrift("Clamp", 2.0, start_iteration=3, end_iteration=6)
+        assert [d.active_at(i) for i in range(2, 7)] == [False, True, True, True, False]
+
+    def test_open_ended(self):
+        d = LatencyDrift("Clamp", 2.0, start_iteration=3)
+        assert d.active_at(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyDrift("Clamp", 0.0)
+        with pytest.raises(ValueError):
+            LatencyDrift("Clamp", 2.0, start_iteration=5, end_iteration=5)
+
+    def test_factors_compose(self):
+        schedule = [
+            LatencyDrift("Clamp", 2.0),
+            LatencyDrift("Clamp", 3.0),
+            LatencyDrift("Logit", 4.0, start_iteration=10),
+        ]
+        assert drift_factors_at(schedule, 0) == {"Clamp": 6.0}
+        assert drift_factors_at(schedule, 10) == {"Clamp": 6.0, "Logit": 4.0}
+
+    def test_identity_factors_dropped(self):
+        schedule = [LatencyDrift("Clamp", 2.0), LatencyDrift("Clamp", 0.5)]
+        assert drift_factors_at(schedule, 0) == {}
+
+    def test_dict_round_trip(self):
+        d = LatencyDrift("FillNull", 1.5, start_iteration=2, end_iteration=9)
+        assert LatencyDrift.from_dict(d.to_dict()) == d
+
+
+class TestResidualModel:
+    def test_needs_min_samples(self):
+        model = ResidualModel(min_samples=8)
+        for s in samples("Clamp", 2.0, n=7):
+            model.record(s)
+        assert model.correction("Clamp") == 1.0
+        model.record(samples("Clamp", 2.0, n=1)[0])
+        assert model.correction("Clamp") == pytest.approx(2.0)
+
+    def test_constant_factor_recovered_exactly(self):
+        model = ResidualModel()
+        for s in samples("Clamp", 2.5, n=32):
+            model.record(s)
+        assert model.correction("Clamp") == pytest.approx(2.5)
+        assert model.correct("Clamp", 100.0) == pytest.approx(250.0)
+
+    def test_median_robust_to_outliers(self):
+        model = ResidualModel()
+        for s in samples("Clamp", 2.0, n=31):
+            model.record(s)
+        model.record(CalibrationSample("Clamp", 100.0, 100_000.0))
+        assert model.correction("Clamp") == pytest.approx(2.0)
+
+    def test_unknown_op_untouched(self):
+        model = ResidualModel()
+        assert model.correction("Ngram") == 1.0
+        assert model.correct("Ngram", 42.0) == 42.0
+
+    def test_correction_clipped(self):
+        model = ResidualModel(clip=4.0)
+        for s in samples("Clamp", 1000.0, n=16):
+            model.record(s)
+        assert model.correction("Clamp") == 4.0
+
+    def test_window_forgets_old_regime(self):
+        model = ResidualModel(window=16)
+        for s in samples("Clamp", 2.0, n=16):
+            model.record(s)
+        for s in samples("Clamp", 1.0, n=16):
+            model.record(s)
+        assert model.correction("Clamp") == pytest.approx(1.0)
+
+    def test_mape_improves_with_correction(self):
+        model = ResidualModel()
+        for s in samples("Clamp", 2.0, n=16):
+            model.record(s)
+        raw = model.mean_absolute_percentage_error(corrected=False)
+        corrected = model.mean_absolute_percentage_error(corrected=True)
+        assert raw == pytest.approx(0.5)
+        assert corrected == pytest.approx(0.0)
+
+    def test_fingerprint_tracks_corrections(self):
+        a, b = ResidualModel(), ResidualModel()
+        assert a.fingerprint() == b.fingerprint()
+        for s in samples("Clamp", 2.0, n=16):
+            a.record(s)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_state_round_trip(self):
+        a = ResidualModel(window=32)
+        for s in samples("Clamp", 2.0, n=16) + samples("Logit", 0.5, n=16):
+            a.record(s)
+        b = ResidualModel()
+        b.load_state(a.state_dict())
+        assert b.corrections() == a.corrections()
+        assert b.state_dict() == a.state_dict()
+
+    def test_gbdt_mode_learns_feature_dependent_drift(self):
+        # Drift that depends on a feature: small kernels 1.5x, big ones 3x.
+        model = ResidualModel(mode="gbdt", min_fit_samples=64)
+        recorded = []
+        for i in range(128):
+            size = float(i % 2)  # 0 = small, 1 = big
+            factor = 1.5 if size == 0.0 else 3.0
+            recorded.append(
+                CalibrationSample(
+                    "Ngram", 100.0, 100.0 * factor, features=(size, 1.0)
+                )
+            )
+        for s in recorded:
+            model.record(s)
+        assert model.correct("Ngram", 100.0, (0.0, 1.0)) == pytest.approx(150.0, rel=0.05)
+        assert model.correct("Ngram", 100.0, (1.0, 1.0)) == pytest.approx(300.0, rel=0.05)
+
+    def test_gbdt_mode_falls_back_below_threshold(self):
+        model = ResidualModel(mode="gbdt", min_fit_samples=64)
+        for s in samples("Clamp", 2.0, n=16):
+            model.record(s)
+        # Too few samples for the regressor: quantile correction applies.
+        assert model.correct("Clamp", 100.0, (1.0,)) == pytest.approx(200.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ResidualModel(mode="nonsense")
+        with pytest.raises(ValueError):
+            ResidualModel(window=0)
+        with pytest.raises(ValueError):
+            ResidualModel(clip=1.0)
+
+
+class FakeKernel:
+    def __init__(self, tag, duration_us):
+        self.tag = tag
+        self.duration_us = duration_us
+        self.num_warps = 32
+        self.meta = {}
+
+
+class TestCalibratedPredictor:
+    def test_oracle_base_applies_correction(self):
+        residual = ResidualModel()
+        for s in samples("Clamp", 2.0, n=16):
+            residual.record(s)
+        predictor = CalibratedPredictor(None, residual)
+        assert predictor.is_fitted
+        k = FakeKernel("Clamp", 100.0)
+        assert predictor.base_prediction(k) == 100.0
+        assert predictor.predict_kernel(k) == pytest.approx(200.0)
+        assert predictor.predict_total([k, k]) == pytest.approx(400.0)
+
+    def test_fingerprint_changes_with_corrections(self):
+        residual = ResidualModel()
+        predictor = CalibratedPredictor(None, residual)
+        before = predictor.fingerprint()
+        for s in samples("Clamp", 2.0, n=16):
+            residual.record(s)
+        assert predictor.fingerprint() != before
+        assert predictor.fingerprint().startswith("calibrated:oracle:")
+
+
+class TestDriftDetector:
+    def test_fires_only_after_sustained_window(self):
+        det = DriftDetector(threshold=0.25, window=3)
+        events = [
+            det.observe_iteration(i, samples("Clamp", 2.0, n=4, start_iter=i))
+            for i in range(3)
+        ]
+        assert events[0] is None and events[1] is None
+        assert events[2] is not None
+        assert events[2].worst_op_type == "Clamp"
+        assert events[2].iteration == 2
+
+    def test_spike_does_not_fire(self):
+        det = DriftDetector(threshold=0.25, window=3)
+        assert det.observe_iteration(0, samples("Clamp", 2.0, n=4)) is None
+        assert det.observe_iteration(1, samples("Clamp", 1.0, n=4)) is None
+        assert det.observe_iteration(2, samples("Clamp", 2.0, n=4)) is None
+
+    def test_edge_triggered_until_rearmed(self):
+        det = DriftDetector(threshold=0.25, window=2)
+        det.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(1, samples("Clamp", 2.0, n=4)) is not None
+        # Still drifting: no second event while breached.
+        assert det.observe_iteration(2, samples("Clamp", 2.0, n=4)) is None
+        # Signal recovers (correction landed), then drifts again: re-fires.
+        det.observe_iteration(3, samples("Clamp", 1.0, n=4))
+        det.observe_iteration(4, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(5, samples("Clamp", 2.0, n=4)) is not None
+
+    def test_single_drifted_op_not_diluted(self):
+        det = DriftDetector(threshold=0.25, window=1)
+        mixed = samples("Clamp", 2.0, n=2) + samples("Logit", 1.0, n=20)
+        event = det.observe_iteration(0, mixed)
+        assert event is not None
+        assert event.worst_op_type == "Clamp"
+
+    def test_active_prediction_quiets_detector(self):
+        det = DriftDetector(threshold=0.25, window=1)
+        corrected = [
+            CalibrationSample(
+                "Clamp", 100.0, 250.0, iteration=0, active_predicted_us=250.0
+            )
+            for _ in range(4)
+        ]
+        assert det.observe_iteration(0, corrected) is None
+
+    def test_reset_rearms_and_clears_history(self):
+        det = DriftDetector(threshold=0.25, window=2)
+        det.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        det.observe_iteration(1, samples("Clamp", 2.0, n=4))
+        det.reset()
+        assert det.observe_iteration(2, samples("Clamp", 2.0, n=4)) is None
+
+    def test_state_round_trip(self):
+        a = DriftDetector(threshold=0.25, window=3)
+        a.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        b = DriftDetector(threshold=0.25, window=3)
+        b.load_state(a.state_dict())
+        assert b.state_dict() == a.state_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(window=0)

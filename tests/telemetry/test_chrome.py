@@ -1,0 +1,101 @@
+"""Chrome trace-event construction, validation, and span generation."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    ChromeTraceError,
+    Tracer,
+    duration_event,
+    instant_event,
+    iteration_span_events,
+    process_metadata_events,
+    trace_document,
+    trace_json,
+    validate_chrome_trace,
+)
+
+
+class TestEventConstructors:
+    def test_duration_event_shape(self):
+        ev = duration_event("mlp_fwd", "training", ts=10.0, dur=5.0, pid=0, tid=0)
+        assert ev["ph"] == "X"
+        assert ev["ts"] == 10.0 and ev["dur"] == 5.0
+
+    def test_process_metadata_names_threads(self):
+        events = process_metadata_events(3, "GPU 3", threads={0: "training", 1: "preprocessing"})
+        names = {(e["name"], e["args"].get("name")) for e in events}
+        assert ("process_name", "GPU 3") in names
+        assert ("thread_name", "training") in names
+        assert ("thread_name", "preprocessing") in names
+
+    def test_trace_json_is_valid_document(self):
+        events = [duration_event("a", "cat", ts=0.0, dur=1.0, pid=0, tid=0)]
+        doc = json.loads(trace_json(events))
+        validate_chrome_trace(doc)
+
+
+class TestValidator:
+    def test_accepts_document_string(self):
+        events = [instant_event("mark", "cat", ts=1.0, pid=0, tid=0)]
+        validate_chrome_trace(trace_json(events))
+
+    def test_rejects_missing_required_field(self):
+        doc = trace_document([{"ph": "X", "name": "a", "ts": 0.0, "pid": 0, "tid": 0}])
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace(doc)  # duration event without dur
+
+    def test_rejects_negative_duration(self):
+        doc = trace_document(
+            [duration_event("a", "cat", ts=0.0, dur=1.0, pid=0, tid=0)]
+        )
+        doc["traceEvents"][0]["dur"] = -1.0
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unknown_phase(self):
+        doc = trace_document([{"ph": "Z", "name": "a", "ts": 0.0, "pid": 0, "tid": 0}])
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace(doc)
+
+    def test_rejects_non_list_events(self):
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace({"traceEvents": {}})
+
+
+@pytest.fixture
+def iteration_result(device, mlp_stage, emb_stage, small_kernel):
+    return device.simulate_iteration([mlp_stage, emb_stage], {0: [small_kernel]})
+
+
+class TestIterationSpans:
+    def test_spans_cover_stages_and_kernels(self, iteration_result):
+        events = iteration_span_events(iteration_result, pid=0)
+        validate_chrome_trace(trace_document(events))
+        train = [e for e in events if e["tid"] == 0]
+        prep = [e for e in events if e["tid"] == 1]
+        assert len(train) == len(iteration_result.stage_spans)
+        assert len(prep) == len(iteration_result.kernel_spans)
+
+    def test_offset_shifts_timestamps(self, iteration_result):
+        base = iteration_span_events(iteration_result, pid=0)
+        shifted = iteration_span_events(iteration_result, pid=0, t_offset=1000.0)
+        assert [e["ts"] + 1000.0 for e in base] == [e["ts"] for e in shifted]
+
+
+class TestTracer:
+    def test_tracer_output_validates(self):
+        tracer = Tracer()
+        tracer.ensure_process(0, "GPU 0", threads={0: "training"})
+        tracer.span("stage", "training", ts=0.0, dur=10.0, pid=0, tid=0)
+        tracer.instant("replan (drift)", "runtime", plan_epoch=1)
+        validate_chrome_trace(tracer.to_chrome_trace())
+
+    def test_clock_state_round_trips(self):
+        a = Tracer()
+        a.span("s", "c", ts=0.0, dur=5.0, pid=0, tid=0)
+        state = a.state_dict()
+        b = Tracer()
+        b.load_state(state)
+        assert b.state_dict() == state

@@ -1,0 +1,136 @@
+"""Prometheus text exposition, strict parsing, and the JSONL sink."""
+
+import pytest
+
+from repro.telemetry import (
+    JsonlMetricsSink,
+    MetricsRegistry,
+    PrometheusParseError,
+    parse_prometheus_text,
+    to_prometheus_text,
+    write_prometheus,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("rap_iterations_total", help="Iterations executed").inc(12)
+    reg.gauge("rap_plan_epoch", help="Current plan epoch").set(2)
+    reg.counter(
+        "rap_cache_hit_total", help="Cache hits", labels={"cache": "plan", "tier": "disk"}
+    ).inc(3)
+    h = reg.histogram(
+        "rap_iteration_latency_us", help="Latency", buckets=(100.0, 1000.0)
+    )
+    h.observe(50.0)
+    h.observe(500.0)
+    h.observe(5000.0)
+    return reg
+
+
+class TestExposition:
+    def test_round_trip(self):
+        text = to_prometheus_text(populated_registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed["rap_iterations_total"]["type"] == "counter"
+        assert parsed["rap_plan_epoch"]["type"] == "gauge"
+        hist = parsed["rap_iteration_latency_us"]
+        assert hist["type"] == "histogram"
+        samples = {
+            (labels.get("__role__"), labels.get("le")): value
+            for labels, value in hist["samples"]
+        }
+        assert samples[("count", None)] == 3.0
+        assert samples[("sum", None)] == 5550.0
+        assert samples[("bucket", "+Inf")] == 3.0
+
+    def test_labels_survive_round_trip(self):
+        text = to_prometheus_text(populated_registry())
+        parsed = parse_prometheus_text(text)
+        labels, value = parsed["rap_cache_hit_total"]["samples"][0]
+        assert labels == {"cache": "plan", "tier": "disk"}
+        assert value == 3.0
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"path": 'a"b\\c\nd'}).inc()
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        labels, _ = parsed["c_total"]["samples"][0]
+        assert labels == {"path": 'a"b\\c\nd'}
+
+    def test_write_prometheus_atomic(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, populated_registry())
+        parsed = parse_prometheus_text(path.read_text())
+        assert "rap_iterations_total" in parsed
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
+class TestStrictParser:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text("orphan_metric 1\n")
+
+    def test_rejects_bad_value(self):
+        text = "# TYPE m counter\nm not_a_number\n"
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="100"} 1\n'
+            "h_sum 50\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(text)
+
+    def test_rejects_decreasing_cumulative_counts(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="100"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 50\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(text)
+
+    def test_rejects_count_bucket_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 50\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(text)
+
+    def test_rejects_histogram_missing_sum(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 3\n' "h_count 3\n"
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus_text(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_prometheus_text("# TYPE m counter\nm oops\n")
+        except PrometheusParseError as exc:
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected PrometheusParseError")
+
+
+class TestJsonlSink:
+    def test_flush_appends_steps(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlMetricsSink(path)
+        reg = MetricsRegistry()
+        counter = reg.counter("c_total")
+        counter.inc()
+        sink.flush(reg, step=1)
+        counter.inc()
+        sink.flush(reg, step=2)
+        records = JsonlMetricsSink.read(path)
+        assert [r["step"] for r in records] == [1, 2]
+        assert records[-1]["metrics"]["c_total"]["series"][0]["value"] == 2.0

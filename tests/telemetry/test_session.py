@@ -1,0 +1,129 @@
+"""TelemetrySession: aggregation, artifacts, and checkpoint state."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    CalibratedPredictor,
+    CalibrationSample,
+    JsonlMetricsSink,
+    TelemetrySession,
+    parse_prometheus_text,
+    validate_chrome_trace,
+)
+
+
+def feed(session, op="Clamp", factor=2.0, n=16, iteration=0):
+    for i in range(n):
+        session.record_kernel_sample(
+            CalibrationSample(op, 100.0, 100.0 * factor, iteration=iteration, stage=i)
+        )
+
+
+class TestSessionRecording:
+    def test_kernel_samples_feed_residual_and_metrics(self):
+        session = TelemetrySession()
+        feed(session, n=16)
+        assert session.residual.total_samples == 16
+        text = session.prometheus_text()
+        parsed = parse_prometheus_text(text)
+        assert "rap_calibration_samples_total" in parsed
+        assert "rap_kernel_observed_us" in parsed
+        corr = {
+            labels["op"]: value
+            for labels, value in parsed["rap_calibration_correction"]["samples"]
+        }
+        assert corr["Clamp"] == pytest.approx(2.0)
+
+    def test_record_iteration_counts_and_traces(self):
+        session = TelemetrySession()
+        session.record_iteration(0, 1500.0, 120.0)
+        session.record_iteration(1, 1600.0, 90.0)
+        parsed = parse_prometheus_text(session.prometheus_text())
+        _, total = parsed["rap_iterations_total"]["samples"][0]
+        assert total == 2.0
+        names = {e["name"] for e in session.tracer.events}
+        assert "iteration 0" in names and "iteration 1" in names
+
+    def test_check_drift_fires_and_counts(self):
+        session = TelemetrySession()
+        for i in range(3):
+            feed(session, n=4, iteration=i)
+            event = session.check_drift(i)
+        assert event is not None
+        assert session.drift_events == [event]
+        parsed = parse_prometheus_text(session.prometheus_text())
+        _, fired = parsed["rap_drift_events_total"]["samples"][0]
+        assert fired == 1.0
+
+    def test_check_drift_consumes_iteration_samples(self):
+        session = TelemetrySession()
+        feed(session, n=4)
+        session.check_drift(0)
+        # Second check sees no fresh samples: detector history untouched.
+        assert session.check_drift(1) is None
+        assert session.drift_detector.state_dict()["history"] == [1.0]
+
+    def test_note_replan(self):
+        session = TelemetrySession()
+        session.note_replan(5, "drift", plan_epoch=2)
+        parsed = parse_prometheus_text(session.prometheus_text())
+        labels, count = parsed["rap_replans_total"]["samples"][0]
+        assert labels == {"reason": "drift"} and count == 1.0
+        _, epoch = parsed["rap_plan_epoch"]["samples"][0]
+        assert epoch == 2.0
+
+    def test_mape_properties(self):
+        session = TelemetrySession()
+        feed(session, factor=2.0, n=16)
+        assert session.predictor_mape == pytest.approx(0.5)
+        assert session.calibrated_mape == pytest.approx(0.0)
+
+
+class TestCalibratedPredictorHandle:
+    def test_wraps_base_once(self):
+        session = TelemetrySession()
+        wrapped = session.calibrated_predictor(None)
+        assert isinstance(wrapped, CalibratedPredictor)
+        rewrapped = session.calibrated_predictor(wrapped)
+        assert rewrapped.base is None  # never stacks corrections
+        assert rewrapped.residual is session.residual
+
+
+class TestArtifacts:
+    def test_write_artifacts_produces_valid_files(self, tmp_path):
+        session = TelemetrySession(metrics_dir=tmp_path)
+        feed(session, n=8)
+        session.record_iteration(0, 1500.0, 120.0)
+        paths = session.write_artifacts(step=0)
+        parsed = parse_prometheus_text(paths["prometheus"].read_text())
+        assert "rap_iteration_latency_us" in parsed
+        validate_chrome_trace(json.loads(paths["trace"].read_text()))
+        assert JsonlMetricsSink.read(paths["jsonl"])
+
+    def test_no_metrics_dir_no_artifacts(self):
+        session = TelemetrySession()
+        assert session.write_artifacts() == {}
+        session.flush()  # must not raise
+
+    def test_summary_mentions_corrections(self):
+        session = TelemetrySession()
+        feed(session, factor=2.5, n=16)
+        text = "\n".join(session.summary_lines())
+        assert "Clamp=2.500" in text
+        assert "calibration samples: 16" in text
+
+
+class TestSessionState:
+    def test_state_round_trip(self):
+        a = TelemetrySession()
+        for i in range(3):
+            feed(a, n=4, iteration=i)
+            a.check_drift(i)
+        a.record_iteration(0, 1500.0, 100.0)
+        b = TelemetrySession()
+        b.load_state(a.state_dict())
+        assert b.state_dict() == a.state_dict()
+        assert b.residual.corrections() == a.residual.corrections()
+        assert len(b.drift_events) == len(a.drift_events)

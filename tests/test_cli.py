@@ -335,3 +335,75 @@ class TestCheckpointResume:
         assert main([*self.BASE, "--iterations", "4",
                      "--checkpoint-dir", str(ckpt), "--resume"]) == 2
         assert "already at iteration" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    BASE = ["run", "--plan", "1", "--gpus", "2", "--batch", "1024"]
+
+    def test_drift_spec_parses(self):
+        from repro.cli import _parse_drift
+
+        d = _parse_drift("Clamp=2.5:3:8")
+        assert (d.op_type, d.factor, d.start_iteration, d.end_iteration) == (
+            "Clamp", 2.5, 3, 8,
+        )
+        assert _parse_drift("Logit=1.5").start_iteration == 0
+        assert _parse_drift("FillNull=2:4").end_iteration is None
+
+    def test_drift_spec_rejects_unknown_op(self, capsys):
+        assert main([*self.BASE, "--iterations", "2", "--drift", "NotAnOp=2.0"]) == 2
+        assert "unknown op" in capsys.readouterr().err
+
+    def test_drift_spec_rejects_malformed(self, capsys):
+        assert main([*self.BASE, "--iterations", "2", "--drift", "Clamp"]) == 2
+        assert "drift spec" in capsys.readouterr().err
+
+    def test_metrics_dir_conflicts_with_no_telemetry(self, capsys):
+        assert main([*self.BASE, "--iterations", "2", "--no-telemetry",
+                     "--metrics-dir", "x"]) == 2
+        assert "--no-telemetry" in capsys.readouterr().err
+
+    def test_run_emits_metrics_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import parse_prometheus_text, validate_chrome_trace
+
+        metrics = tmp_path / "metrics"
+        assert main([*self.BASE, "--iterations", "4",
+                     "--metrics-dir", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry" in out
+        assert "iterations" in out
+        parsed = parse_prometheus_text((metrics / "metrics.prom").read_text())
+        assert "rap_iterations_total" in parsed
+        validate_chrome_trace(json.loads((metrics / "trace.json").read_text()))
+        assert (metrics / "metrics.jsonl").exists()
+
+    def test_drift_run_reports_calibration(self, capsys):
+        assert main([*self.BASE, "--iterations", "10",
+                     "--drift", "Clamp=2.5:2"]) == 0
+        out = capsys.readouterr().out
+        assert "drift events" in out
+        assert "Clamp=2.500" in out
+        assert "replans: 1" in out
+
+    def test_no_telemetry_output_identical_to_default(self, capsys):
+        """--no-telemetry must not change the simulated run, only reporting."""
+        argv = [*self.BASE, "--iterations", "4", "--seed", "5"]
+        assert main(argv) == 0
+        with_t = capsys.readouterr().out
+        assert main([*argv, "--no-telemetry"]) == 0
+        without_t = capsys.readouterr().out
+        assert "Telemetry" in with_t and "Telemetry" not in without_t
+        # The report block above the telemetry section is byte-identical.
+        assert without_t.split("Telemetry")[0].rstrip() in with_t
+
+    def test_cache_stats_show_disk_tier(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        base = ["plan", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                "--plan-cache", str(cache)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "1 hit(s) (1 disk-tier)" in out
