@@ -46,7 +46,7 @@ from .plan_cache import (
     workload_fingerprint,
 )
 from .planner import PlannerStats, RapPlan, RapPlanner, RapRunReport
-from .codegen import generate_plan_module, load_plan_module
+from .codegen import compile_plan, generate_plan_module, load_plan_module
 from .hybrid import HybridPlanner, HybridReport, HybridSplit
 from .adaptation import AdaptationEvent, AdaptiveReplanner, drift_graph_set, scale_plan_kernels
 from .serialization import (
@@ -100,6 +100,7 @@ __all__ = [
     "RapPlan",
     "RapPlanner",
     "RapRunReport",
+    "compile_plan",
     "generate_plan_module",
     "load_plan_module",
     "HybridPlanner",

@@ -14,7 +14,20 @@ from .data import (
     SparseColumn,
     SyntheticCriteoDataset,
     TERABYTE_SCHEMA,
+    concat_csr_blocks,
+    lengths_from_offsets,
+    offsets_from_lengths,
+    rowwise_concat_csr,
+    segment_positions,
 )
+from .engine import (
+    BufferArena,
+    CompileError,
+    CompiledProgram,
+    compile_graph_set,
+    compile_op_groups,
+)
+from .pipeline import PipelinedFeeder, SyntheticBatchSource
 from .ops import (
     OP_REGISTRY,
     BoxCox,
@@ -54,6 +67,18 @@ __all__ = [
     "SyntheticCriteoDataset",
     "KAGGLE_SCHEMA",
     "TERABYTE_SCHEMA",
+    "concat_csr_blocks",
+    "lengths_from_offsets",
+    "offsets_from_lengths",
+    "rowwise_concat_csr",
+    "segment_positions",
+    "BufferArena",
+    "CompileError",
+    "CompiledProgram",
+    "compile_graph_set",
+    "compile_op_groups",
+    "PipelinedFeeder",
+    "SyntheticBatchSource",
     "OP_REGISTRY",
     "PreprocessingOp",
     "BoxCox",

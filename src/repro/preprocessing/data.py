@@ -13,6 +13,7 @@ TorchRec uses) with configurable hash sizes, list lengths, and skew.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -24,7 +25,112 @@ __all__ = [
     "SyntheticCriteoDataset",
     "KAGGLE_SCHEMA",
     "TERABYTE_SCHEMA",
+    "lengths_from_offsets",
+    "offsets_from_lengths",
+    "segment_positions",
+    "concat_csr_blocks",
+    "rowwise_concat_csr",
 ]
+
+
+# ----------------------------------------------------------------------
+# CSR segment helpers
+#
+# The compiled engine (repro.preprocessing.engine) and the vectorized
+# operator kernels work on bare ``(offsets, values)`` arrays rather than
+# column objects; these helpers are the shared vocabulary for that layout.
+# ----------------------------------------------------------------------
+
+
+def lengths_from_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Per-row list lengths of a CSR offsets array."""
+    return np.diff(offsets)
+
+
+def offsets_from_lengths(lengths: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """CSR offsets (``len(lengths) + 1`` entries) from per-row lengths."""
+    if out is None:
+        out = np.zeros(len(lengths) + 1, dtype=np.int64)
+    else:
+        out[0] = 0
+    np.cumsum(lengths, out=out[1:])
+    return out
+
+
+def segment_positions(offsets: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
+    """Within-row index of every element of a CSR column.
+
+    ``segment_positions([0, 2, 5])`` is ``[0, 1, 0, 1, 2]``: element ``k``'s
+    distance from the start of its own row. This is the primitive behind
+    vectorized list truncation and row-wise concatenation.
+    """
+    if lengths is None:
+        lengths = lengths_from_offsets(offsets)
+    nnz = int(offsets[-1])
+    if nnz == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.arange(nnz, dtype=np.int64) - np.repeat(offsets[:-1], lengths)
+
+
+def concat_csr_blocks(
+    offsets_list: Sequence[np.ndarray],
+    values_list: Sequence[np.ndarray],
+    out_offsets: np.ndarray | None = None,
+    out_values: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack several CSR columns row-block after row-block.
+
+    The result has ``sum(rows_i)`` rows: block ``i`` holds column ``i``'s rows
+    unchanged. Horizontally-fused segment kernels execute once over the
+    stacked column and split their output back into per-member blocks.
+    """
+    total_rows = sum(len(o) - 1 for o in offsets_list)
+    total_nnz = sum(int(o[-1]) for o in offsets_list)
+    if out_offsets is None:
+        out_offsets = np.empty(total_rows + 1, dtype=np.int64)
+    if out_values is None:
+        out_values = np.empty(total_nnz, dtype=values_list[0].dtype if values_list else np.int64)
+    out_offsets[0] = 0
+    row, base = 0, 0
+    for offs, vals in zip(offsets_list, values_list):
+        rows_i, nnz_i = len(offs) - 1, int(offs[-1])
+        np.add(offs[1:], base, out=out_offsets[row + 1 : row + rows_i + 1])
+        out_values[base : base + nnz_i] = vals
+        row += rows_i
+        base += nnz_i
+    return out_offsets, out_values
+
+
+def rowwise_concat_csr(
+    offsets_list: Sequence[np.ndarray], values_list: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise concatenation of several CSR columns (vectorized).
+
+    Row ``i`` of the result is row ``i`` of each input concatenated in
+    order -- the layout ``Ngram`` consumes when it spans multiple sparse
+    features. This is the array-level core of
+    :func:`repro.preprocessing.ops.concat_sparse_rows`.
+    """
+    if not offsets_list:
+        raise ValueError("need at least one column to concatenate")
+    rows = len(offsets_list[0]) - 1
+    for offs in offsets_list:
+        if len(offs) - 1 != rows:
+            raise ValueError("all columns must have the same row count")
+    lengths = [lengths_from_offsets(o) for o in offsets_list]
+    total_lengths = np.sum(lengths, axis=0)
+    offsets = offsets_from_lengths(total_lengths)
+    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    prefix = np.zeros(rows, dtype=np.int64)
+    for offs, vals, lens in zip(offsets_list, values_list, lengths):
+        starts = offsets[:-1] + prefix
+        nnz = int(offs[-1])
+        if nnz:
+            within = np.arange(nnz, dtype=np.int64) - np.repeat(offs[:-1], lens)
+            targets = np.repeat(starts, lens) + within
+            values[targets] = vals
+        prefix = prefix + lens
+    return offsets, values
 
 
 @dataclass
@@ -46,6 +152,14 @@ class DenseColumn:
 
     def copy(self) -> "DenseColumn":
         return DenseColumn(self.name, self.values.copy())
+
+    @classmethod
+    def trusted(cls, name: str, values: np.ndarray) -> "DenseColumn":
+        """Construct without validation (engine fast path: inputs are known-good)."""
+        col = object.__new__(cls)
+        col.name = name
+        col.values = values
+        return col
 
 
 @dataclass
@@ -71,10 +185,18 @@ class SparseColumn:
             raise ValueError(
                 f"sparse column {self.name!r}: offsets must start at 0 and end at len(values)"
             )
-        if np.any(np.diff(self.offsets) < 0):
+        lengths = np.diff(self.offsets)
+        if np.any(lengths < 0):
             raise ValueError(f"sparse column {self.name!r}: offsets must be non-decreasing")
         if self.hash_size <= 0:
             raise ValueError(f"sparse column {self.name!r}: hash_size must be positive")
+        # The CSR layout is immutable after construction: planning loops call
+        # lengths()/nbytes() constantly, so both are cached, and the offsets
+        # are frozen so no call site can silently invalidate the cache.
+        if self.offsets.flags.writeable:
+            self.offsets.flags.writeable = False
+        lengths.flags.writeable = False
+        self._lengths = lengths
 
     @property
     def num_rows(self) -> int:
@@ -92,10 +214,35 @@ class SparseColumn:
         return self.values[self.offsets[i] : self.offsets[i + 1]]
 
     def lengths(self) -> np.ndarray:
-        return np.diff(self.offsets)
+        """Per-row list lengths (cached; the returned array is read-only)."""
+        if self._lengths is None:
+            lengths = np.diff(self.offsets)
+            lengths.flags.writeable = False
+            self._lengths = lengths
+        return self._lengths
 
     def copy(self) -> "SparseColumn":
-        return SparseColumn(self.name, self.offsets.copy(), self.values.copy(), self.hash_size)
+        return SparseColumn.trusted(
+            self.name, self.offsets.copy(), self.values.copy(), self.hash_size
+        )
+
+    @classmethod
+    def trusted(
+        cls, name: str, offsets: np.ndarray, values: np.ndarray, hash_size: int
+    ) -> "SparseColumn":
+        """Construct without validation or freezing.
+
+        The compiled engine builds output columns from arrays it already
+        proved consistent (and whose buffers it may reuse next batch), so it
+        skips the O(nnz) validation pass of the public constructor.
+        """
+        col = object.__new__(cls)
+        col.name = name
+        col.offsets = offsets
+        col.values = values
+        col.hash_size = hash_size
+        col._lengths = None
+        return col
 
 
 @dataclass
@@ -109,6 +256,7 @@ class Batch:
         sizes = {len(c) for c in self.dense.values()} | {c.num_rows for c in self.sparse.values()}
         if len(sizes) > 1:
             raise ValueError(f"inconsistent batch row counts: {sorted(sizes)}")
+        self._nbytes: int | None = None
 
     @property
     def size(self) -> int:
@@ -130,11 +278,15 @@ class Batch:
             self.dense[column.name] = column
         else:
             self.sparse[column.name] = column
+        self._nbytes = None
 
     def nbytes(self) -> int:
-        total = sum(c.values.nbytes for c in self.dense.values())
-        total += sum(c.values.nbytes + c.offsets.nbytes for c in self.sparse.values())
-        return total
+        """Total payload bytes (cached; ``put`` invalidates the cache)."""
+        if self._nbytes is None:
+            total = sum(c.values.nbytes for c in self.dense.values())
+            total += sum(c.values.nbytes + c.offsets.nbytes for c in self.sparse.values())
+            self._nbytes = total
+        return self._nbytes
 
     def copy(self) -> "Batch":
         return Batch(

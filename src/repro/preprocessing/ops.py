@@ -20,6 +20,7 @@ that per-warp cost varies across operators.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from dataclasses import dataclass
 from typing import Any, ClassVar, Sequence
@@ -28,7 +29,14 @@ import numpy as np
 
 from ..gpusim.kernel import KernelDesc
 from ..gpusim.resources import GpuSpec, ResourceVector, A100_SPEC, warps_to_sm_fraction
-from .data import Batch, DenseColumn, SparseColumn
+from .data import (
+    Batch,
+    DenseColumn,
+    SparseColumn,
+    lengths_from_offsets,
+    offsets_from_lengths,
+    rowwise_concat_csr,
+)
 
 __all__ = [
     "PreprocessingOp",
@@ -46,12 +54,24 @@ __all__ = [
     "OP_REGISTRY",
     "make_op",
     "concat_sparse_rows",
+    "fillnull_kernel",
+    "cast_kernel",
+    "logit_kernel",
+    "boxcox_kernel",
+    "onehot_kernel",
+    "bucketize_kernel",
+    "sigridhash_kernel",
+    "clamp_kernel",
+    "mapid_kernel",
+    "firstx_kernel",
+    "ngram_kernel",
 ]
 
 _ELEMS_PER_WARP = 128  # 32 lanes x 4 elements per lane
 _MEM_SATURATION_FRACTION = 0.25  # fraction of warp slots needed to saturate DRAM
 
 
+@functools.lru_cache(maxsize=65536)
 def _config_noise(key: tuple) -> float:
     """Deterministic +/-8% perturbation keyed on the kernel configuration.
 
@@ -59,6 +79,10 @@ def _config_noise(key: tuple) -> float:
     other micro-effects our analytic model omits; this stands in for them
     so that the latency predictor's +/-10% accuracy target (Table 5) is a
     real bar rather than a tautology.
+
+    Planning loops lower the same (op, rows, list-length, params) tuple to a
+    kernel thousands of times per search, so the digest is memoized behind a
+    bounded LRU cache; the key space of one planning session is tiny.
     """
     digest = hashlib.md5(repr(key).encode()).digest()
     unit = int.from_bytes(digest[:4], "little") / 0xFFFFFFFF
@@ -78,20 +102,222 @@ def concat_sparse_rows(columns: Sequence[SparseColumn], name: str, hash_size: in
     for col in columns:
         if col.num_rows != rows:
             raise ValueError("all columns must have the same row count")
-    lengths = [col.lengths() for col in columns]
-    total_lengths = np.sum(lengths, axis=0)
-    offsets = np.zeros(rows + 1, dtype=np.int64)
-    np.cumsum(total_lengths, out=offsets[1:])
-    values = np.empty(int(offsets[-1]), dtype=np.int64)
-    prefix = np.zeros(rows, dtype=np.int64)
-    for col, lens in zip(columns, lengths):
-        starts = offsets[:-1] + prefix
-        if col.nnz:
-            within = np.arange(col.nnz, dtype=np.int64) - np.repeat(col.offsets[:-1], lens)
-            targets = np.repeat(starts, lens) + within
-            values[targets] = col.values
-        prefix = prefix + lens
+    offsets, values = rowwise_concat_csr(
+        [col.offsets for col in columns], [col.values for col in columns]
+    )
     return SparseColumn(name, offsets, values, hash_size)
+
+
+# ----------------------------------------------------------------------
+# Vectorized operator kernels
+#
+# Each function is the numeric core of one Table-1 operator, written over
+# bare numpy arrays. The naive ``_transform``s and the compiled engine
+# (:mod:`repro.preprocessing.engine`) both call these functions, so the two
+# execution paths are bit-identical by construction -- the engine merely
+# applies them to concatenated column segments with pooled output buffers.
+#
+# Contract: ``values`` (and ``offsets``) arguments are never mutated; when
+# ``out`` is given the result is written there (same elementwise math as the
+# allocate-and-return path) and ``out`` is returned.
+# ----------------------------------------------------------------------
+
+
+def _finish(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    if out is None:
+        return result
+    np.copyto(out, result, casting="unsafe")
+    return out
+
+
+def fillnull_kernel(values: np.ndarray, fill_value: float, out: np.ndarray | None = None) -> np.ndarray:
+    """Replace NaNs with ``fill_value``; output is float32."""
+    if out is None:
+        return np.nan_to_num(values.astype(np.float32), nan=fill_value)
+    np.copyto(out, values, casting="unsafe")
+    return np.nan_to_num(out, copy=False, nan=fill_value)
+
+
+def cast_kernel(values: np.ndarray, dtype: np.dtype, out: np.ndarray | None = None) -> np.ndarray:
+    """Cast to ``dtype``; NaNs are zeroed first for integer targets."""
+    target = np.dtype(dtype)
+    if np.issubdtype(target, np.integer):
+        values = np.nan_to_num(values, nan=0.0)
+    return _finish(values.astype(target) if out is None else values, out)
+
+
+def logit_kernel(values: np.ndarray, eps: float, out: np.ndarray | None = None) -> np.ndarray:
+    """``log(p / (1 - p))`` with inputs clipped into ``(eps, 1 - eps)``; float32 out."""
+    p = np.clip(values.astype(np.float64), eps, 1.0 - eps)
+    y = np.log(p / (1.0 - p))
+    return _finish(y.astype(np.float32) if out is None else y, out)
+
+
+def boxcox_kernel(values: np.ndarray, lmbda: float, out: np.ndarray | None = None) -> np.ndarray:
+    """Box-Cox power transform; float32 out."""
+    x = np.maximum(values.astype(np.float64), 1e-6)
+    if abs(lmbda) < 1e-12:
+        y = np.log(x)
+    else:
+        y = (np.power(x, lmbda) - 1.0) / lmbda
+    return _finish(y.astype(np.float32) if out is None else y, out)
+
+
+def onehot_kernel(values: np.ndarray, num_classes: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Hot-bucket index per row (the compacted one-hot encoding); int64 out."""
+    x = np.nan_to_num(values.astype(np.float64), nan=0.0)
+    x = np.clip(x, 0.0, 1.0)
+    idx = np.minimum((x * num_classes).astype(np.int64), num_classes - 1)
+    return _finish(idx, out)
+
+
+def bucketize_kernel(
+    values: np.ndarray, borders: tuple[float, ...], out: np.ndarray | None = None
+) -> np.ndarray:
+    """Bucket index per element given sorted borders; int64 out."""
+    x = np.nan_to_num(values.astype(np.float64), nan=0.0)
+    idx = np.searchsorted(np.asarray(borders), x, side="right").astype(np.int64)
+    return _finish(idx, out)
+
+
+def _as_uint64(values: np.ndarray) -> np.ndarray:
+    """Zero-copy uint64 aliasing of an int64 array (wraps exactly like astype)."""
+    if values.dtype == np.uint64:
+        return values
+    try:
+        return values.view(np.uint64)
+    except ValueError:  # non-contiguous exotic layout: fall back to a copy
+        return values.astype(np.uint64)
+
+
+def sigridhash_kernel(
+    values: np.ndarray, salt: int, max_value: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """SigridHash sparse ids into ``[0, max_value)``; int64 out.
+
+    The mix is a splitmix64 finalizer; every pass writes the (caller-owned
+    or freshly allocated) output buffer in place, so the kernel performs no
+    per-pass allocations beyond the two shift temporaries.
+    """
+    if out is None:
+        out = np.empty(values.shape[0], dtype=np.int64)
+    h = _as_uint64(out)
+    np.multiply(_as_uint64(values), np.uint64(0x9E3779B97F4A7C15), out=h)
+    h += np.uint64(salt)
+    h ^= h >> np.uint64(29)
+    h *= np.uint64(0xBF58476D1CE4E5B9)
+    h ^= h >> np.uint64(32)
+    np.remainder(h, np.uint64(max_value), out=h)
+    return out
+
+
+def clamp_kernel(
+    values: np.ndarray, lower: int, upper: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Clamp sparse ids into ``[lower, upper]``; int64 out."""
+    if lower > upper:
+        raise ValueError("Clamp lower bound exceeds upper bound")
+    return np.clip(values, lower, upper, out=out)
+
+
+def mapid_kernel(
+    values: np.ndarray,
+    multiplier: int,
+    offset: int,
+    table_size: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Affine id remap ``(v * multiplier + offset) % table_size``; int64 out."""
+    if out is None:
+        out = np.empty(values.shape[0], dtype=np.int64)
+    h = _as_uint64(out)
+    np.multiply(_as_uint64(values), np.uint64(multiplier), out=h)
+    h += np.uint64(offset)
+    np.remainder(h, np.uint64(table_size), out=h)
+    return out
+
+
+def firstx_kernel(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    x: int,
+    out_offsets: np.ndarray | None = None,
+    out_values: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncate every row's list to its first ``x`` ids.
+
+    Returns the truncated column's ``(offsets, values)``. When output
+    buffers are given they must be large enough (``rows + 1`` and the
+    truncated nnz respectively).
+    """
+    if x <= 0:
+        raise ValueError("FirstX needs x >= 1")
+    lengths = lengths_from_offsets(offsets)
+    out_offsets = offsets_from_lengths(np.minimum(lengths, x), out=out_offsets)
+    nnz = int(offsets[-1])
+    long_rows = np.flatnonzero(lengths > x)
+    if nnz == 0:
+        kept = values[:0]
+    elif long_rows.size == 0:
+        kept = values.copy()
+    else:
+        # Drop-range marking: only rows longer than x contribute a cut, so
+        # the mask costs O(truncated rows) scatters plus one boolean
+        # XOR-scan instead of a repeat() over every element. Cut starts
+        # (row start + x) and cut ends (row end) are strictly increasing,
+        # never collide, and never nest, so the parity scan is exactly the
+        # inside-a-cut indicator.
+        flips = np.zeros(nnz + 1, dtype=bool)
+        flips[offsets[:-1][long_rows] + x] = True
+        flips[offsets[1:][long_rows]] = True
+        drop = np.logical_xor.accumulate(flips[:-1])
+        kept = values[np.logical_not(drop, out=drop)]
+    if out_values is None:
+        return out_offsets, kept
+    out_values[...] = kept
+    return out_offsets, out_values
+
+
+def ngram_kernel(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    n: int,
+    out_hash_size: int,
+    out_offsets: np.ndarray | None = None,
+    out_values: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hash every window of ``n`` consecutive ids within a row to a new id.
+
+    Operates on the already row-wise-concatenated column (see
+    :func:`repro.preprocessing.data.rowwise_concat_csr`); windows never span
+    row boundaries.
+    """
+    if n < 1:
+        raise ValueError("Ngram needs n >= 1")
+    lengths = lengths_from_offsets(offsets)
+    out_lengths = np.maximum(lengths - n + 1, 0)
+    out_offsets = offsets_from_lengths(out_lengths, out=out_offsets)
+    nnz = int(offsets[-1])
+    if nnz == 0 or int(out_offsets[-1]) == 0:
+        empty = values[:0] if out_values is None else out_values[:0]
+        return out_offsets, empty
+    v = values.astype(np.uint64)
+    prime = np.uint64(1_000_003)
+    h = np.zeros(nnz, dtype=np.uint64)
+    for t in range(n):
+        shifted = np.zeros(nnz, dtype=np.uint64)
+        shifted[: nnz - t] = v[t:]
+        h = h * prime + shifted
+    num_rows = len(offsets) - 1
+    row_ids = np.repeat(np.arange(num_rows), lengths)
+    tail_rows = np.full(nnz, -1, dtype=np.int64)
+    tail_rows[: nnz - (n - 1)] = row_ids[n - 1 :] if n > 1 else row_ids
+    valid = row_ids == tail_rows
+    grams = (h[valid] % np.uint64(out_hash_size)).astype(np.int64)
+    if out_values is None:
+        return out_offsets, grams
+    out_values[...] = grams
+    return out_offsets, out_values
 
 
 @dataclass
@@ -163,6 +389,18 @@ class PreprocessingOp:
     def _params_key(self) -> tuple:
         """Operator parameters that influence latency (noise + predictor)."""
         return ()
+
+    def numeric_key(self) -> tuple:
+        """Parameters that influence the *numeric output* of the operator.
+
+        Two same-type ops with equal ``numeric_key()`` can execute as one
+        vectorized kernel call over their concatenated inputs (the engine's
+        fused execution). This can differ from :meth:`_params_key`, which
+        only has to capture what moves *latency* (e.g. Bucketize's cost
+        depends on the border count, but its output depends on the actual
+        border values).
+        """
+        return self._params_key()
 
     def num_warps(self, rows: int, avg_list_length: float = 2.0) -> int:
         work = self.work_elements(rows, avg_list_length)
@@ -252,8 +490,7 @@ class Logit(PreprocessingOp):
 
     def _transform(self, columns: list) -> DenseColumn:
         (col,) = columns
-        p = np.clip(col.values.astype(np.float64), self.eps, 1.0 - self.eps)
-        return DenseColumn(self.output, np.log(p / (1.0 - p)).astype(np.float32))
+        return DenseColumn(self.output, logit_kernel(col.values, self.eps))
 
 
 @dataclass
@@ -273,12 +510,7 @@ class BoxCox(PreprocessingOp):
 
     def _transform(self, columns: list) -> DenseColumn:
         (col,) = columns
-        x = np.maximum(col.values.astype(np.float64), 1e-6)
-        if abs(self.lmbda) < 1e-12:
-            y = np.log(x)
-        else:
-            y = (np.power(x, self.lmbda) - 1.0) / self.lmbda
-        return DenseColumn(self.output, y.astype(np.float32))
+        return DenseColumn(self.output, boxcox_kernel(col.values, self.lmbda))
 
 
 @dataclass
@@ -309,9 +541,7 @@ class Onehot(PreprocessingOp):
 
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        x = np.nan_to_num(col.values.astype(np.float64), nan=0.0)
-        x = np.clip(x, 0.0, 1.0)
-        idx = np.minimum((x * self.num_classes).astype(np.int64), self.num_classes - 1)
+        idx = onehot_kernel(col.values, self.num_classes)
         offsets = np.arange(len(idx) + 1, dtype=np.int64)
         return SparseColumn(self.output, offsets, idx, self.num_classes)
 
@@ -341,13 +571,7 @@ class SigridHash(PreprocessingOp):
 
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        v = col.values.astype(np.uint64)
-        salt = np.uint64(self.salt)
-        h = (v * np.uint64(0x9E3779B97F4A7C15) + salt) & np.uint64(0xFFFFFFFFFFFFFFFF)
-        h ^= h >> np.uint64(29)
-        h *= np.uint64(0xBF58476D1CE4E5B9)
-        h ^= h >> np.uint64(32)
-        hashed = (h % np.uint64(self.max_value)).astype(np.int64)
+        hashed = sigridhash_kernel(col.values, self.salt, self.max_value)
         return SparseColumn(self.output, col.offsets.copy(), hashed, self.max_value)
 
 
@@ -374,16 +598,8 @@ class FirstX(PreprocessingOp):
 
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        if self.x <= 0:
-            raise ValueError("FirstX needs x >= 1")
-        lengths = np.minimum(col.lengths(), self.x)
-        offsets = np.zeros(col.num_rows + 1, dtype=np.int64)
-        np.cumsum(lengths, out=offsets[1:])
-        keep = np.zeros(col.nnz, dtype=bool)
-        if col.nnz:
-            within = np.arange(col.nnz, dtype=np.int64) - np.repeat(col.offsets[:-1], col.lengths())
-            keep = within < self.x
-        return SparseColumn(self.output, offsets, col.values[keep], col.hash_size)
+        offsets, values = firstx_kernel(col.offsets, col.values, self.x)
+        return SparseColumn(self.output, offsets, values, col.hash_size)
 
 
 @dataclass
@@ -406,9 +622,7 @@ class Clamp(PreprocessingOp):
 
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        if self.lower > self.upper:
-            raise ValueError("Clamp lower bound exceeds upper bound")
-        clipped = np.clip(col.values, self.lower, self.upper)
+        clipped = clamp_kernel(col.values, self.lower, self.upper)
         return SparseColumn(self.output, col.offsets.copy(), clipped, max(col.hash_size, self.upper + 1))
 
 
@@ -440,14 +654,18 @@ class Bucketize(PreprocessingOp):
     def _params_key(self) -> tuple:
         return (len(self.borders),)
 
+    def numeric_key(self) -> tuple:
+        # Cost only cares how many borders there are; the output depends on
+        # the actual border values.
+        return self.borders
+
     def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
         # Binary search over the borders per element.
         return rows * max(1.0, np.log2(len(self.borders) + 1))
 
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        x = np.nan_to_num(col.values.astype(np.float64), nan=0.0)
-        idx = np.searchsorted(np.asarray(self.borders), x, side="right").astype(np.int64)
+        idx = bucketize_kernel(col.values, self.borders)
         offsets = np.arange(len(idx) + 1, dtype=np.int64)
         return SparseColumn(self.output, offsets, idx, len(self.borders) + 1)
 
@@ -477,6 +695,11 @@ class Ngram(PreprocessingOp):
     def _params_key(self) -> tuple:
         return (self.n, len(self.inputs))
 
+    def numeric_key(self) -> tuple:
+        # The input count moves latency but not the window math; fused
+        # members only need matching window size and output hash space.
+        return (self.n, self.out_hash_size)
+
     def work_elements(self, rows: int, avg_list_length: float = 2.0) -> float:
         # Every element participates in up to n windows.
         return rows * avg_list_length * len(self.inputs) * self.n
@@ -485,25 +708,7 @@ class Ngram(PreprocessingOp):
         if self.n < 1:
             raise ValueError("Ngram needs n >= 1")
         combined = concat_sparse_rows(columns, self.output + "_cat", self.out_hash_size)
-        lengths = combined.lengths()
-        out_lengths = np.maximum(lengths - self.n + 1, 0)
-        offsets = np.zeros(combined.num_rows + 1, dtype=np.int64)
-        np.cumsum(out_lengths, out=offsets[1:])
-        nnz = combined.nnz
-        if nnz == 0 or int(offsets[-1]) == 0:
-            return SparseColumn(self.output, offsets, np.empty(0, dtype=np.int64), self.out_hash_size)
-        values = combined.values.astype(np.uint64)
-        prime = np.uint64(1_000_003)
-        h = np.zeros(nnz, dtype=np.uint64)
-        for t in range(self.n):
-            shifted = np.zeros(nnz, dtype=np.uint64)
-            shifted[: nnz - t] = values[t:]
-            h = h * prime + shifted
-        row_ids = np.repeat(np.arange(combined.num_rows), lengths)
-        tail_rows = np.full(nnz, -1, dtype=np.int64)
-        tail_rows[: nnz - (self.n - 1)] = row_ids[self.n - 1 :] if self.n > 1 else row_ids
-        valid = row_ids == tail_rows
-        grams = (h[valid] % np.uint64(self.out_hash_size)).astype(np.int64)
+        offsets, grams = ngram_kernel(combined.offsets, combined.values, self.n, self.out_hash_size)
         return SparseColumn(self.output, offsets, grams, self.out_hash_size)
 
 
@@ -526,12 +731,12 @@ class MapId(PreprocessingOp):
     def _params_key(self) -> tuple:
         return (self.table_size,)
 
+    def numeric_key(self) -> tuple:
+        return (self.multiplier, self.offset, self.table_size)
+
     def _transform(self, columns: list) -> SparseColumn:
         (col,) = columns
-        v = col.values.astype(np.uint64)
-        mapped = ((v * np.uint64(self.multiplier) + np.uint64(self.offset)) % np.uint64(self.table_size)).astype(
-            np.int64
-        )
+        mapped = mapid_kernel(col.values, self.multiplier, self.offset, self.table_size)
         return SparseColumn(self.output, col.offsets.copy(), mapped, self.table_size)
 
 
@@ -557,8 +762,7 @@ class FillNull(PreprocessingOp):
 
     def _transform(self, columns: list) -> DenseColumn:
         (col,) = columns
-        out = np.nan_to_num(col.values.astype(np.float32), nan=self.fill_value)
-        return DenseColumn(self.output, out)
+        return DenseColumn(self.output, fillnull_kernel(col.values, self.fill_value))
 
 
 @dataclass
@@ -578,11 +782,7 @@ class Cast(PreprocessingOp):
 
     def _transform(self, columns: list) -> DenseColumn:
         (col,) = columns
-        target = np.dtype(self.dtype)
-        vals = col.values
-        if np.issubdtype(target, np.integer):
-            vals = np.nan_to_num(vals, nan=0.0)
-        return DenseColumn(self.output, vals.astype(target))
+        return DenseColumn(self.output, cast_kernel(col.values, np.dtype(self.dtype)))
 
 
 OP_REGISTRY: dict[str, type[PreprocessingOp]] = {

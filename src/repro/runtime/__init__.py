@@ -31,6 +31,9 @@ from .elastic import (
 )
 from .executor import (
     POOL_RESTART_BASE_US,
+    DataPathVerifier,
+    DataVerification,
+    DataVerificationError,
     FaultTolerantRuntime,
     KernelRecovery,
     SimulatedKill,
@@ -64,6 +67,9 @@ from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .watchdog import LatencyWatchdog, WatchdogDecision
 
 __all__ = [
+    "DataPathVerifier",
+    "DataVerification",
+    "DataVerificationError",
     "FaultTolerantRuntime",
     "KernelRecovery",
     "SimulatedKill",

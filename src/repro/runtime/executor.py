@@ -33,8 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
+import numpy as np
+
 from ..baselines.torcharrow import CpuWorkerPool
 from ..core.adaptation import drift_graph_set, scale_plan_kernels
+from ..core.codegen import compile_plan
 from ..core.fusion import fit_kernel_to_leftover, shard_by_latency
 from ..core.hybrid import GPU_TO_CPU_SLOWDOWN, cpu_fallback_production_us, degraded_pool
 from ..core.latency_predictor import kernel_features
@@ -42,7 +45,8 @@ from ..core.planner import RapPlan, RapPlanner
 from ..core.serialization import kernel_from_dict, kernel_to_dict, plan_from_json, plan_to_json
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
-from ..preprocessing.executor import DataPreparation
+from ..preprocessing.data import CriteoSchema, SyntheticCriteoDataset
+from ..preprocessing.executor import DataPreparation, execute_graph_set
 from ..preprocessing.graph import GraphSet
 from ..telemetry import (
     CalibrationSample,
@@ -79,6 +83,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from .checkpoint import CheckpointManager, Snapshot
 
 __all__ = [
+    "DataPathVerifier",
+    "DataVerification",
+    "DataVerificationError",
     "KernelRecovery",
     "FaultTolerantRuntime",
     "SimulatedKill",
@@ -103,6 +110,122 @@ class SimulatedKill(RuntimeError):
     def __init__(self, iteration: int) -> None:
         self.iteration = iteration
         super().__init__(f"simulated kill after iteration {iteration}")
+
+
+class DataVerificationError(RuntimeError):
+    """Raised in strict mode when the compiled engine diverges from naive."""
+
+
+@dataclass(frozen=True)
+class DataVerification:
+    """Outcome of one engine-vs-naive functional cross-check."""
+
+    iteration: int
+    plan_epoch: int
+    columns_checked: int
+    mismatched: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "plan_epoch": self.plan_epoch,
+            "columns_checked": self.columns_checked,
+            "mismatched": list(self.mismatched),
+            "ok": self.ok,
+        }
+
+
+class DataPathVerifier:
+    """Periodic engine-backed functional verification of the active plan.
+
+    The runtime itself is a latency simulator; this hook grounds it in the
+    *functional* data path. Every ``every``-th iteration the active plan's
+    per-GPU kernel schedules are lowered through the compiled engine
+    (:func:`repro.core.codegen.compile_plan`), executed against a fresh
+    synthetic batch, and every produced column is compared bit-for-bit
+    against the naive golden reference ``execute_graph_set`` on the same
+    batch. Compiled programs are cached per plan epoch, so replans and
+    membership changes re-lower automatically.
+
+    Strictly opt-in and read-only with respect to the simulation: iteration
+    numbers are untouched whether or not a verifier is attached.
+    """
+
+    def __init__(
+        self,
+        schema: CriteoSchema,
+        every: int = 10,
+        seed: int = 2024,
+        strict: bool = True,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.schema = schema
+        self.every = every
+        self.seed = seed
+        self.strict = strict
+        self.history: list[DataVerification] = []
+        self._programs = None
+        self._programs_epoch = -1
+
+    def should_run(self, iteration: int) -> bool:
+        return iteration % self.every == 0
+
+    def verify(self, plan: RapPlan, plan_epoch: int, iteration: int) -> DataVerification:
+        rows = plan.graph_set.rows
+        if self._programs is None or self._programs_epoch != plan_epoch:
+            self._programs = compile_plan(plan, rows=rows)
+            self._programs_epoch = plan_epoch
+        batch = SyntheticCriteoDataset(self.schema, seed=self.seed).batch(
+            rows, index=iteration
+        )
+        golden = execute_graph_set(plan.graph_set, batch)
+        checked = 0
+        mismatched: list[str] = []
+        for program in self._programs.values():
+            out = program.execute(batch)
+            for step in program.steps:
+                for op in step.members:
+                    checked += 1
+                    if not self._column_matches(op.output, out, golden):
+                        mismatched.append(op.output)
+        result = DataVerification(
+            iteration=iteration,
+            plan_epoch=plan_epoch,
+            columns_checked=checked,
+            mismatched=tuple(sorted(mismatched)),
+        )
+        self.history.append(result)
+        if self.strict and not result.ok:
+            raise DataVerificationError(
+                f"compiled engine diverged from execute_graph_set at iteration "
+                f"{iteration} (plan epoch {plan_epoch}) on columns: "
+                f"{', '.join(result.mismatched)}"
+            )
+        return result
+
+    @staticmethod
+    def _column_matches(name: str, out, golden) -> bool:
+        if name in golden.dense:
+            if name not in out.dense:
+                return False
+            a, b = out.dense[name].values, golden.dense[name].values
+            return a.dtype == b.dtype and np.array_equal(a, b)
+        if name in golden.sparse:
+            if name not in out.sparse:
+                return False
+            a, b = out.sparse[name], golden.sparse[name]
+            return (
+                a.hash_size == b.hash_size
+                and np.array_equal(a.offsets, b.offsets)
+                and a.values.dtype == b.values.dtype
+                and np.array_equal(a.values, b.values)
+            )
+        return False
 
 
 @dataclass
@@ -139,6 +262,7 @@ class FaultTolerantRuntime:
         journal: RunJournal | None = None,
         telemetry: TelemetrySession | None = None,
         drift_schedule: Sequence[LatencyDrift] = (),
+        verifier: DataPathVerifier | None = None,
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
@@ -160,6 +284,9 @@ class FaultTolerantRuntime:
         # latency drift -- the environment change the calibration loop
         # exists to absorb.
         self.telemetry = telemetry
+        # Functional cross-check of the simulated plan against real data;
+        # opt-in and read-only with respect to the iteration numbers.
+        self.verifier = verifier
         self.drift_schedule = list(drift_schedule)
         self._calibrated = False
         # Drift of the live distribution relative to the *active* plan's
@@ -233,6 +360,16 @@ class FaultTolerantRuntime:
         for i in range(start_iteration, start_iteration + num_iterations):
             before_membership = len(self._membership_log)
             record, faults, transitions = self.run_iteration(i)
+            if self.verifier is not None and self.verifier.should_run(i):
+                try:
+                    self.verifier.verify(self.plan, self.plan_epoch, i)
+                finally:
+                    # verify() appends to history before a strict-mode raise,
+                    # so the journal records the divergence either way.
+                    if self.verifier.history:
+                        self._journal(
+                            "data_verify", **self.verifier.history[-1].to_dict()
+                        )
             report.iterations.append(record)
             report.faults.extend(faults)
             report.transitions.extend(transitions)
@@ -832,6 +969,7 @@ class FaultTolerantRuntime:
         journal: RunJournal | None = None,
         telemetry: TelemetrySession | None = None,
         drift_schedule: Sequence[LatencyDrift] | None = None,
+        verifier: DataPathVerifier | None = None,
     ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
         """Rebuild a runtime from a checkpoint :class:`Snapshot`.
 
@@ -869,6 +1007,7 @@ class FaultTolerantRuntime:
             journal=journal,
             telemetry=telemetry,
             drift_schedule=drift_schedule,
+            verifier=verifier,
         )
         runtime.plan_epoch = int(state.get("plan_epoch", 0))
         runtime._scale = float(state.get("scale", 1.0))

@@ -1,0 +1,141 @@
+"""PipelinedFeeder: ordering, shutdown, and exception propagation."""
+
+import threading
+import time
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.preprocessing import (
+    KAGGLE_SCHEMA,
+    PipelinedFeeder,
+    SyntheticBatchSource,
+    SyntheticCriteoDataset,
+)
+
+
+def _feeder_threads() -> list[threading.Thread]:
+    return [t for t in threading.enumerate() if t.name.startswith("rap-feeder")]
+
+
+def _identity(i: int) -> int:
+    return i
+
+
+def _boom_on_two(i: int) -> int:
+    if i == 2:
+        raise ValueError(f"producer failed on batch {i}")
+    return i
+
+
+def test_in_order_delivery_despite_uneven_latency():
+    def produce(i: int) -> int:
+        time.sleep(0.02 if i % 2 == 0 else 0.0)  # even batches finish late
+        return i
+
+    with PipelinedFeeder(produce, num_batches=8, depth=3, workers=2) as feeder:
+        assert list(feeder) == list(range(8))
+
+
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_batches_identical_to_direct_synthesis(mode):
+    source = SyntheticBatchSource(KAGGLE_SCHEMA, batch_size=32, seed=7)
+    dataset = SyntheticCriteoDataset(KAGGLE_SCHEMA, seed=7)
+    with PipelinedFeeder(source, num_batches=3, mode=mode) as feeder:
+        for i, batch in enumerate(feeder):
+            want = dataset.batch(32, index=i)
+            assert set(batch.dense) == set(want.dense)
+            assert set(batch.sparse) == set(want.sparse)
+            for name, col in want.dense.items():
+                np.testing.assert_array_equal(batch.dense[name].values, col.values)
+            for name, col in want.sparse.items():
+                assert np.array_equal(batch.sparse[name].offsets, col.offsets)
+                assert np.array_equal(batch.sparse[name].values, col.values)
+
+
+def test_clean_shutdown_no_leaked_workers():
+    feeder = PipelinedFeeder(_identity, num_batches=5, workers=2)
+    assert list(feeder) == list(range(5))
+    assert feeder.closed
+    for t in _feeder_threads():
+        t.join(timeout=5.0)
+    assert not _feeder_threads()
+
+
+def test_consumer_break_shuts_down():
+    feeder = PipelinedFeeder(_identity, num_batches=100, depth=2)
+    with feeder:
+        for value in feeder:
+            if value == 3:
+                break
+    assert feeder.closed
+    for t in _feeder_threads():
+        t.join(timeout=5.0)
+    assert not _feeder_threads()
+
+
+def test_thread_mode_reraises_original_traceback():
+    with PipelinedFeeder(_boom_on_two, num_batches=5) as feeder:
+        consumed = []
+        with pytest.raises(ValueError, match="batch 2") as excinfo:
+            for value in feeder:
+                consumed.append(value)
+    # Batches before the failure were delivered in order...
+    assert consumed == [0, 1]
+    # ...and the re-raised exception carries the producer's own frames.
+    frames = traceback.extract_tb(excinfo.value.__traceback__)
+    assert any(f.name == "_boom_on_two" for f in frames)
+    assert feeder.closed
+
+
+def test_process_mode_propagates_with_remote_cause():
+    with PipelinedFeeder(_boom_on_two, num_batches=4, mode="process") as feeder:
+        with pytest.raises(ValueError, match="batch 2") as excinfo:
+            list(feeder)
+    # The worker traceback rides along in the cause chain.
+    assert excinfo.value.__cause__ is not None
+
+
+def test_depth_bounds_in_flight_window():
+    lock = threading.Lock()
+    live = 0
+    peak = 0
+
+    def produce(i: int) -> int:
+        nonlocal live, peak
+        with lock:
+            live += 1
+            peak = max(peak, live)
+        time.sleep(0.005)
+        with lock:
+            live -= 1
+        return i
+
+    with PipelinedFeeder(produce, num_batches=12, depth=2, workers=4) as feeder:
+        list(feeder)
+    assert peak <= 2
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="depth"):
+        PipelinedFeeder(_identity, num_batches=1, depth=0)
+    with pytest.raises(ValueError, match="mode"):
+        PipelinedFeeder(_identity, num_batches=1, mode="fiber")
+    with pytest.raises(ValueError, match="num_batches"):
+        PipelinedFeeder(_identity, num_batches=-1)
+    with pytest.raises(ValueError, match="workers"):
+        PipelinedFeeder(_identity, num_batches=1, workers=0)
+
+
+def test_closed_feeder_refuses_iteration():
+    feeder = PipelinedFeeder(_identity, num_batches=2)
+    feeder.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        iter(feeder).__next__()
+    feeder.close()  # idempotent
+
+
+def test_zero_batches_yields_nothing():
+    with PipelinedFeeder(_identity, num_batches=0) as feeder:
+        assert list(feeder) == []
