@@ -1,0 +1,85 @@
+"""Robustness scorecard benchmark: a seeded forge smoke sweep.
+
+Runs the scenario forge end-to-end over a pinned block of seeds -- generate,
+audit, execute planner+runtime under correlated faults and drift, score --
+and publishes the gated scorecard to ``BENCH_scenarios.json`` at the repo
+root. The nightly CI job runs hundreds of seeds; this smoke block keeps the
+same machinery honest on every PR: every generated scenario must clear the
+admission audit, every admitted scenario must complete, and every scoring
+dimension in ``GATE_CRITERIA`` must hold on the aggregate.
+
+The measured quantity is the sweep wall time (inline, no subprocess
+isolation, so the benchmark times the actual planner+runtime work rather
+than fork overhead).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.forge import GATE_CRITERIA, SweepConfig, sweep, write_scorecard
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_scenarios.json"
+
+#: Pinned smoke block: seeds 0..9 of the default forge distribution.
+SMOKE_SEEDS = 10
+
+
+_CARD: dict | None = None
+
+
+@pytest.fixture
+def scorecard(run_once):
+    # The sweep runs once (timed, in whichever test executes first) and the
+    # card is shared -- ``run_once`` is function-scoped, so a module-scoped
+    # fixture cannot depend on it directly.
+    global _CARD
+    if _CARD is None:
+
+        def run():
+            config = SweepConfig(
+                seeds=SMOKE_SEEDS, start_seed=0, jobs=0, resume_check_every=3
+            )
+            return sweep(config)
+
+        _CARD = run_once(run)
+        write_scorecard(_CARD, BENCH_PATH)
+    return _CARD
+
+
+def test_every_scenario_is_admitted(scorecard):
+    """The default forge distribution never emits an unauditable scenario."""
+    assert scorecard["admission"]["generated"] == SMOKE_SEEDS
+    assert scorecard["admission"]["rejected"] == 0
+
+
+def test_every_scenario_completes(scorecard):
+    """No crashes, hangs, or planner failures across the smoke block."""
+    assert scorecard["statuses"] == {"ok": SMOKE_SEEDS}
+
+
+def test_adversity_is_actually_exercised(scorecard):
+    """The smoke block is not a kiddie pool: faults and drift really fire."""
+    coverage = scorecard["coverage"]
+    assert coverage["drifting"] > 0
+    assert coverage["correlated"] > 0
+    assert coverage["resume_checked"] > 0
+
+
+def test_all_gates_hold(scorecard):
+    failing = [
+        name for name, dim in scorecard["dimensions"].items() if not dim["pass"]
+    ]
+    assert not failing, {name: scorecard["dimensions"][name] for name in failing}
+    assert scorecard["pass"]
+    assert set(scorecard["dimensions"]) == set(GATE_CRITERIA)
+
+
+def test_resume_integrity_was_checked(scorecard):
+    """At least one scenario in the block replayed through a checkpoint."""
+    checked = [
+        row for row in scorecard["scenarios"] if row["resume"]["checked"]
+    ]
+    assert checked
+    assert all(row["resume"]["identical"] for row in checked)

@@ -10,6 +10,10 @@ run
     Execute a plan through the fault-tolerant runtime for N iterations,
     optionally injecting deterministic faults, and print the resilience
     report (recovery ladder, retries, replans).
+sweep
+    Expand N forge seeds into audited adversarial scenarios, execute each
+    through planner + runtime with crash isolation, and publish the gated
+    robustness scorecard (``BENCH_scenarios.json``).
 compare
     Run RAP against all four baseline systems on one workload.
 experiments
@@ -42,7 +46,7 @@ from .core import (
 )
 from .dlrm import TrainingWorkload, model_for_plan
 from .experiments.reporting import format_kv, format_table
-from .gpusim import render_gantt, to_chrome_trace
+from .gpusim import GPU_PROFILES, render_gantt, resolve_profile, to_chrome_trace
 from .preprocessing import OP_REGISTRY, SyntheticCriteoDataset, build_plan
 from .preprocessing.executor import execute_graph_set
 from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
@@ -61,6 +65,25 @@ from .telemetry import LatencyDrift, TelemetrySession
 __all__ = ["main", "build_parser"]
 
 
+def _parse_fleet(spec: str) -> tuple:
+    """Parse ``--fleet a100,h100,...`` into a tuple of GpuSpec profiles."""
+    handles = [h.strip() for h in spec.split(",") if h.strip()]
+    if not handles:
+        raise ValueError(f"bad --fleet spec {spec!r}: expected PROFILE[,PROFILE...]")
+    try:
+        return tuple(resolve_profile(h) for h in handles)
+    except ValueError as exc:
+        raise ValueError(f"bad --fleet spec {spec!r}: {exc}") from None
+
+
+def _describe_workload(args, workload) -> str:
+    """One-line workload label reflecting the fleet actually built."""
+    label = f"plan {args.plan}, {workload.num_gpus} GPUs, batch {args.batch}"
+    if getattr(args, "fleet", None):
+        label += f" ({', '.join(workload.fleet_profile)})"
+    return label
+
+
 def _workload(args) -> tuple:
     if getattr(args, "random_plan", False):
         graphs, schema = generate_random_plan(
@@ -69,7 +92,18 @@ def _workload(args) -> tuple:
     else:
         graphs, schema = build_plan(args.plan, rows=args.batch)
     model = model_for_plan(graphs, schema)
-    workload = TrainingWorkload(model, num_gpus=args.gpus, local_batch=args.batch)
+    fleet = getattr(args, "fleet", None)
+    if fleet:
+        specs = _parse_fleet(fleet)
+        workload = TrainingWorkload(
+            model,
+            num_gpus=len(specs),
+            local_batch=args.batch,
+            spec=specs[0],
+            specs=specs,
+        )
+    else:
+        workload = TrainingWorkload(model, num_gpus=args.gpus, local_batch=args.batch)
     return graphs, schema, workload
 
 
@@ -77,6 +111,9 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--plan", type=int, default=1, choices=(0, 1, 2, 3),
                         help="Table-3 preprocessing plan (default 1)")
     parser.add_argument("--gpus", type=int, default=4, help="number of simulated GPUs")
+    parser.add_argument("--fleet", metavar="PROFILE[,PROFILE...]",
+                        help="explicit per-GPU profile list (e.g. a100,h100,a100); "
+                             f"overrides --gpus. Profiles: {', '.join(sorted(GPU_PROFILES))}")
     parser.add_argument("--batch", type=int, default=4096, help="per-GPU batch size")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed for random-plan generation and fault injection")
@@ -259,7 +296,7 @@ def cmd_plan(args) -> int:
     print(
         format_kv(
             {
-                "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+                "workload": _describe_workload(args, workload),
                 "mapping strategy": plan.mapping.strategy,
                 "fusion": "on" if plan.fusion_enabled else "off",
                 "kernels per GPU": plan.num_kernels_per_gpu(),
@@ -320,10 +357,13 @@ def _check_resume_compat(snapshot, specs, args, drift_schedule=()) -> None:
     shrinks = sum(
         1 for m in state.get("membership", []) if int(m.get("survivors", 0)) >= 1
     )
-    if wl.get("num_gpus") is not None and wl["num_gpus"] != args.gpus - shrinks:
+    requested = (
+        len(_parse_fleet(args.fleet)) if getattr(args, "fleet", None) else args.gpus
+    )
+    if wl.get("num_gpus") is not None and wl["num_gpus"] != requested - shrinks:
         raise ValueError(
             f"--resume: checkpoint fleet ({wl['num_gpus']} GPUs after {shrinks} "
-            f"loss(es)) is inconsistent with --gpus {args.gpus}"
+            f"loss(es)) is inconsistent with the requested {requested} GPU(s)"
         )
 
 
@@ -391,7 +431,7 @@ def cmd_run(args) -> int:
         print(
             format_kv(
                 {
-                    "workload": f"plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+                    "workload": _describe_workload(args, runtime.workload),
                     "fault injection": ", ".join(f"{s.kind}@{s.rate}" for s in specs) or "off",
                     "seed": args.seed,
                     "resumed at iteration": start if args.resume else "n/a (fresh run)",
@@ -445,6 +485,43 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from .forge import SweepConfig, sweep, write_scorecard
+
+    _check_clobber(args.out, args.force)
+    config = SweepConfig(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        iterations=args.iterations,
+        timeout_s=args.timeout,
+        jobs=args.jobs,
+        triage_dir=Path(args.triage_dir) if args.triage_dir else None,
+    )
+    scorecard = sweep(config, log=lambda message: print(f"sweep: {message}"))
+    path = write_scorecard(scorecard, args.out)
+    rows = [
+        [name, dim["value"], f"{dim['op']} {dim['threshold']}",
+         "pass" if dim["pass"] else "FAIL"]
+        for name, dim in scorecard["dimensions"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["dimension", "value", "gate", "verdict"],
+            rows,
+            title=f"Robustness scorecard ({scorecard['admission']['admitted']} scenarios)",
+        )
+    )
+    print(f"\nscorecard -> {path}")
+    if scorecard["reproducers"]:
+        print(f"minimized reproducers -> {args.triage_dir} "
+              f"({len(scorecard['reproducers'])} scenario(s))")
+    if not scorecard["pass"]:
+        print("rap-repro: sweep: one or more robustness gates failed", file=sys.stderr)
+        return 4
+    return 0
+
+
 def cmd_compare(args) -> int:
     graphs, schema, workload = _workload(args)
     rap = RapPlanner(workload).plan_and_evaluate(graphs)
@@ -464,7 +541,7 @@ def cmd_compare(args) -> int:
         format_table(
             ["system", "iteration (us)", "throughput (samples/s)", "RAP speedup"],
             rows,
-            title=f"Plan {args.plan}, {args.gpus} GPUs, batch {args.batch}",
+            title="P" + _describe_workload(args, workload)[1:],
         )
     )
     return 0
@@ -543,6 +620,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "run is bit-identical to one without the subsystem")
     _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a forge scenario sweep and publish the robustness scorecard",
+    )
+    p_sweep.add_argument("--seeds", type=int, default=100,
+                         help="number of scenario seeds to expand (default 100)")
+    p_sweep.add_argument("--start-seed", type=int, default=0,
+                         help="first seed of the range (default 0)")
+    p_sweep.add_argument("--iterations", type=int, default=None,
+                         help="override every scenario's iteration count "
+                              "(voids the seed-replay audit; for smoke runs)")
+    p_sweep.add_argument("--jobs", type=int, default=0,
+                         help="concurrent isolated scenario processes "
+                              "(default 0 = run inline in this process)")
+    p_sweep.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                         help="per-scenario hard timeout when --jobs > 0 (default 300)")
+    p_sweep.add_argument("--out", metavar="FILE", default="BENCH_scenarios.json",
+                         help="scorecard output path (default BENCH_scenarios.json)")
+    p_sweep.add_argument("--triage-dir", metavar="DIR",
+                         help="shrink each failing scenario to a minimal reproducer "
+                              "JSON under DIR")
+    p_sweep.add_argument("--force", action="store_true",
+                         help="overwrite an existing scorecard file")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_cmp = sub.add_parser("compare", help="RAP vs the four baselines")
     _add_workload_args(p_cmp)

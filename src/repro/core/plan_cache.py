@@ -129,6 +129,11 @@ def workload_fingerprint(workload: TrainingWorkload) -> str:
         tuple(sorted(placement.row_wise_tables)),
         stages,
     )
+    if getattr(workload, "specs", None) is not None:
+        # Heterogeneous fleet: the per-GPU profile sequence is identity, not
+        # just the stage numbers it happens to produce. Appended only when
+        # set, so every homogeneous fingerprint is unchanged.
+        payload = payload + (workload.fleet_profile,)
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 

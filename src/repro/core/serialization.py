@@ -60,6 +60,14 @@ def kernel_to_dict(kernel: KernelDesc) -> dict[str, Any]:
     meta = {k: v for k, v in kernel.meta.items() if k != "member_kernels"}
     if "params" in meta:
         meta["params"] = list(meta["params"])
+    # Fused kernels carry their member descriptors so a restored plan can
+    # still de-fuse on a fused-OOM fault; without them the recovery ladder
+    # takes the re-shard path instead and a checkpoint resume diverges
+    # from the uninterrupted run. Members are original unfused kernels, so
+    # the recursion is one level deep.
+    members = kernel.meta.get("member_kernels")
+    if members:
+        meta["member_kernels"] = [kernel_to_dict(m) for m in members]
     return {
         "name": kernel.name,
         "duration_us": kernel.duration_us,
@@ -77,6 +85,10 @@ def kernel_from_dict(data: dict[str, Any]) -> KernelDesc:
     meta = dict(data.get("meta", {}))
     if "params" in meta:
         meta["params"] = tuple(meta["params"])
+    if "member_kernels" in meta:
+        meta["member_kernels"] = tuple(
+            kernel_from_dict(m) for m in meta["member_kernels"]
+        )
     return KernelDesc(
         name=data["name"],
         duration_us=data["duration_us"],

@@ -33,6 +33,11 @@ class TrainingWorkload:
     spec: GpuSpec = A100_SPEC
     calibration: StageCalibration = DEFAULT_CALIBRATION
     placement: EmbeddingPlacement | None = None
+    #: Optional per-GPU specs for a heterogeneous fleet (mixed A100/H100-class
+    #: profiles). ``None`` keeps every device at ``spec``. Each GPU's stage
+    #: pipeline is built against its own device, so a faster member finishes
+    #: its stages sooner and exposes different co-running capacity.
+    specs: tuple[GpuSpec, ...] | None = None
     cluster: MultiGpuCluster = field(init=False)
     _stage_cache: dict[int, list[StageProfile]] = field(init=False, default_factory=dict)
 
@@ -41,11 +46,30 @@ class TrainingWorkload:
             self.placement = place_tables(self.config, self.num_gpus)
         if self.placement.num_gpus != self.num_gpus:
             raise ValueError("placement GPU count does not match workload GPU count")
-        self.cluster = MultiGpuCluster(self.num_gpus, self.spec)
+        if self.specs is not None:
+            self.specs = tuple(self.specs)
+            if len(self.specs) != self.num_gpus:
+                raise ValueError(
+                    f"specs lists {len(self.specs)} GPUs but the workload has {self.num_gpus}"
+                )
+        self.cluster = MultiGpuCluster(self.num_gpus, self.spec, specs=self.specs)
 
     # ------------------------------------------------------------------
     # Stage pipelines
     # ------------------------------------------------------------------
+
+    def spec_for_gpu(self, gpu_id: int) -> GpuSpec:
+        """The device spec hosting GPU ``gpu_id`` (``spec`` if homogeneous)."""
+        return self.cluster.spec_for_gpu(gpu_id)
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.cluster.heterogeneous
+
+    @property
+    def fleet_profile(self) -> tuple[str, ...]:
+        """Per-GPU spec names -- the fleet's serialized identity."""
+        return tuple(self.spec_for_gpu(g).name for g in range(self.num_gpus))
 
     def stages_for_gpu(self, gpu_id: int) -> list[StageProfile]:
         if gpu_id not in self._stage_cache:
@@ -54,7 +78,7 @@ class TrainingWorkload:
                 self.placement,
                 self.local_batch,
                 gpu_id,
-                spec=self.spec,
+                spec=self.spec_for_gpu(gpu_id),
                 interconnect=self.cluster.interconnect,
                 calibration=self.calibration,
             )
@@ -91,6 +115,11 @@ class TrainingWorkload:
             spec=self.spec,
             calibration=self.calibration,
             placement=placement,
+            specs=(
+                tuple(s for i, s in enumerate(self.specs) if i != lost_gpu)
+                if self.specs is not None
+                else None
+            ),
         )
         # Reuse the surviving interconnect rather than re-deriving it, so
         # post-loss bandwidth assumptions match the original cluster's.

@@ -1,0 +1,223 @@
+"""Admission audit: no scenario enters a sweep without passing it.
+
+Random generation buys coverage but loses the guarantee that every run is
+*meaningful* -- an infeasible scenario (a fleet that can't be built, a
+fault scheduled past the end of the run, a drift target no op implements)
+would burn a sweep slot producing noise, and a non-replayable one would
+produce failures nobody can reproduce. The audit checks three invariant
+families before a scenario is admitted:
+
+- **Feasibility**: the fleet resolves against the profile registry, the
+  workload builds into a valid heterogeneous
+  :class:`~repro.dlrm.TrainingWorkload`, every scheduled fault names a
+  known schedulable kind at an in-run iteration with a victim that exists,
+  and every drift entry targets a registered op type inside the run.
+- **Conservation**: arrival/drift scale steps are positive and their
+  running product stays within bounds -- a scenario may breathe or spike
+  the input scale but never run it away (which would make every downstream
+  score meaningless).
+- **Replayability**: the scenario round-trips through its serialized dict
+  digest-identically, and (given the forge) re-generating from the seed
+  reproduces the exact canonical JSON bytes.
+
+Findings are structured (check family + detail) so a sweep's admission
+report can say *why* seeds were rejected, not just how many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpusim import resolve_profile
+from ..preprocessing.ops import OP_REGISTRY
+from ..runtime.faults import GPU_LOST, PLAN_DRIFT, FAULT_KINDS
+from .scenario import SCHEDULABLE_FAULT_KINDS, Scenario, scenario_digest
+
+__all__ = ["AuditFinding", "AuditResult", "audit_scenario"]
+
+#: The running plan-drift scale product must stay inside these bounds at
+#: every prefix of the schedule (spikes allowed, runaways rejected).
+SCALE_FLOOR = 0.2
+SCALE_CEILING = 5.0
+
+#: No single background fault class may fire more often than this.
+MAX_BACKGROUND_RATE = 0.5
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audit violation: which invariant family, and what broke."""
+
+    check: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"check": self.check, "detail": self.detail}
+
+
+@dataclass
+class AuditResult:
+    """The audit verdict for one scenario."""
+
+    scenario_name: str
+    digest: str
+    findings: list[AuditFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario_name,
+            "digest": self.digest,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _audit_feasibility(scenario: Scenario, findings: list[AuditFinding]) -> None:
+    for handle in scenario.fleet:
+        try:
+            resolve_profile(handle)
+        except ValueError as exc:
+            findings.append(AuditFinding("feasibility", str(exc)))
+            return  # an unresolvable fleet poisons everything downstream
+
+    try:
+        _, workload = scenario.build_workload()
+    except Exception as exc:  # noqa: BLE001 - any build failure is a rejection
+        findings.append(AuditFinding("feasibility", f"workload failed to build: {exc}"))
+        return
+    if workload.num_gpus != scenario.num_gpus:
+        findings.append(
+            AuditFinding("feasibility", "built workload disagrees with fleet size")
+        )
+
+    lost = 0
+    for event in scenario.full_schedule():
+        if event.kind not in FAULT_KINDS:
+            findings.append(
+                AuditFinding("feasibility", f"unknown scheduled fault kind {event.kind!r}")
+            )
+            continue
+        if event.kind not in SCHEDULABLE_FAULT_KINDS:
+            findings.append(
+                AuditFinding(
+                    "feasibility",
+                    f"kind {event.kind!r} cannot be scheduled (kernel names are "
+                    "only known after planning); use a rate-drawn FaultSpec",
+                )
+            )
+        if not 0 <= event.iteration < scenario.iterations:
+            findings.append(
+                AuditFinding(
+                    "feasibility",
+                    f"scheduled {event.kind} at iteration {event.iteration} is "
+                    f"outside the {scenario.iterations}-iteration run",
+                )
+            )
+        if event.kind == GPU_LOST:
+            # Victims are post-compaction indices: after `lost` earlier
+            # losses the live fleet has num_gpus - lost devices.
+            live = scenario.num_gpus - lost
+            if not 0 <= event.gpu < live:
+                findings.append(
+                    AuditFinding(
+                        "feasibility",
+                        f"gpu_lost victim {event.gpu} does not exist in the "
+                        f"{live}-GPU fleet live at iteration {event.iteration}",
+                    )
+                )
+            lost += 1
+    if lost >= scenario.num_gpus:
+        findings.append(
+            AuditFinding(
+                "feasibility",
+                f"schedule kills all {scenario.num_gpus} GPUs; at least one "
+                "survivor is required for a GPU run",
+            )
+        )
+
+    for drift in scenario.drift_schedule:
+        if drift.op_type not in OP_REGISTRY:
+            findings.append(
+                AuditFinding(
+                    "feasibility",
+                    f"drift targets unknown op type {drift.op_type!r}; known: "
+                    f"{sorted(OP_REGISTRY)}",
+                )
+            )
+        if drift.start_iteration >= scenario.iterations:
+            findings.append(
+                AuditFinding(
+                    "feasibility",
+                    f"drift on {drift.op_type} starts at iteration "
+                    f"{drift.start_iteration}, after the run ends",
+                )
+            )
+
+
+def _audit_conservation(scenario: Scenario, findings: list[AuditFinding]) -> None:
+    scale = 1.0
+    for event in scenario.full_schedule():
+        if event.kind != PLAN_DRIFT:
+            continue
+        if event.magnitude <= 0:
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"non-positive drift step {event.magnitude} at iteration "
+                    f"{event.iteration}",
+                )
+            )
+            return
+        scale *= event.magnitude
+        if not SCALE_FLOOR <= scale <= SCALE_CEILING:
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"cumulative input scale {scale:.3f} at iteration "
+                    f"{event.iteration} escapes [{SCALE_FLOOR}, {SCALE_CEILING}]",
+                )
+            )
+            return
+
+    for spec in scenario.fault_specs:
+        if spec.rate > MAX_BACKGROUND_RATE:
+            findings.append(
+                AuditFinding(
+                    "conservation",
+                    f"background {spec.kind} rate {spec.rate} exceeds "
+                    f"{MAX_BACKGROUND_RATE}; the run would measure noise, not recovery",
+                )
+            )
+
+
+def _audit_replayability(
+    scenario: Scenario, findings: list[AuditFinding], forge=None
+) -> None:
+    round_tripped = Scenario.from_dict(scenario.to_dict())
+    if scenario_digest(round_tripped) != scenario_digest(scenario):
+        findings.append(
+            AuditFinding("replayability", "to_dict/from_dict round trip changed the digest")
+        )
+    if forge is not None:
+        regenerated = forge.generate(scenario.seed)
+        if regenerated.canonical_json() != scenario.canonical_json():
+            findings.append(
+                AuditFinding(
+                    "replayability",
+                    f"re-generating seed {scenario.seed} produced different "
+                    "canonical bytes; the generator is not pure in the seed",
+                )
+            )
+
+
+def audit_scenario(scenario: Scenario, forge=None) -> AuditResult:
+    """Run the full admission audit; pass the forge to check seed replay."""
+    result = AuditResult(scenario_name=scenario.name, digest=scenario_digest(scenario))
+    _audit_feasibility(scenario, result.findings)
+    _audit_conservation(scenario, result.findings)
+    _audit_replayability(scenario, result.findings, forge=forge)
+    return result

@@ -1,0 +1,360 @@
+"""The :class:`Scenario` schema: one complete robustness experiment.
+
+A scenario bundles everything a planner+runtime run consumes into a single
+serializable value: the workload (a :class:`~repro.preprocessing.random_plans.RandomPlanConfig`
+sample plus batch size), the fleet (a tuple of GPU profile handles, mixed
+profiles allowed), the run length, background fault rates, an explicit
+*correlated* fault schedule, a per-op-type latency-drift schedule, an
+arrival curve compiled into plan-drift steps, and the retry-policy knobs.
+
+Two properties make scenarios auditable and pinnable:
+
+- **Canonical serialization**: :meth:`Scenario.canonical_json` emits
+  sorted-key, fixed-separator JSON, and :func:`scenario_digest` hashes it.
+  "Replays bit-identically from seed" means the generator reproduces the
+  exact canonical bytes.
+- **Closed vocabulary**: fleets name profiles from
+  :data:`repro.gpusim.GPU_PROFILES`, scheduled faults name kinds from
+  :data:`repro.runtime.faults.FAULT_KINDS` (append-only), and drift targets
+  name op types from :data:`repro.preprocessing.ops.OP_REGISTRY`, so a
+  serialized scenario from an older build still validates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+
+from ..dlrm import TrainingWorkload, model_for_plan
+from ..gpusim import GpuSpec, resolve_profile
+from ..preprocessing.graph import GraphSet
+from ..preprocessing.random_plans import RandomPlanConfig, generate_random_plan
+from ..runtime.faults import (
+    CPU_POOL_CRASH,
+    GPU_LOST,
+    PLAN_DRIFT,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
+from ..runtime.retry import RetryPolicy
+from ..telemetry import LatencyDrift
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "SCHEDULABLE_FAULT_KINDS",
+    "ARRIVAL_SHAPES",
+    "ArrivalCurve",
+    "WorkloadSpec",
+    "Scenario",
+    "scenario_digest",
+]
+
+#: Bumped whenever the serialized scenario schema changes shape. Old
+#: reproducer files carry their version so a mismatch is an explicit error
+#: rather than a silent misparse.
+SCENARIO_FORMAT_VERSION = 1
+
+#: Fault kinds a scenario may *schedule* explicitly. Kernel-targeted kinds
+#: (kernel_failure, latency_overrun, fused_oom) are excluded: a scheduled
+#: event binds a kernel by name, and the generator cannot know kernel names
+#: before the plan is searched -- those kinds arrive via rate-drawn specs,
+#: which bind against the live plan's placement sites.
+SCHEDULABLE_FAULT_KINDS = (CPU_POOL_CRASH, PLAN_DRIFT, GPU_LOST)
+
+ARRIVAL_SHAPES = ("steady", "diurnal", "bursty")
+
+
+@dataclass(frozen=True)
+class ArrivalCurve:
+    """A deterministic input-arrival intensity curve over the run.
+
+    The runtime has no notion of arrival rate; what it *does* model is
+    plan drift -- the live distribution rescaling relative to the planned
+    one. An arrival curve therefore compiles to a sequence of
+    ``plan_drift`` step events whose magnitudes are the iteration-to-
+    iteration intensity ratios: a diurnal curve breathes the scale up and
+    down, a burst spikes it and releases it. Intensity ratios telescope,
+    so the cumulative scale at iteration *i* is exactly
+    ``intensity(i) / intensity(0)`` -- the conservation property the audit
+    checks.
+
+    ``amplitude`` is the peak deviation from 1.0 (must stay below 1 so
+    intensity is always positive); ``period`` is the diurnal wavelength in
+    iterations; ``burst_at``/``burst_length`` place the bursty window.
+    """
+
+    shape: str = "steady"
+    amplitude: float = 0.0
+    period: int = 8
+    burst_at: int = 0
+    burst_length: int = 2
+
+    def __post_init__(self) -> None:
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ValueError(f"shape must be one of {ARRIVAL_SHAPES}, got {self.shape!r}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period < 2:
+            raise ValueError("period must be >= 2 iterations")
+        if self.burst_at < 0 or self.burst_length < 1:
+            raise ValueError("burst window must be non-negative and non-empty")
+
+    def intensity(self, iteration: int) -> float:
+        """Relative arrival intensity at one iteration (1.0 = planned)."""
+        if self.shape == "steady" or self.amplitude == 0.0:
+            return 1.0
+        if self.shape == "diurnal":
+            return 1.0 + self.amplitude * math.sin(2.0 * math.pi * iteration / self.period)
+        if self.burst_at <= iteration < self.burst_at + self.burst_length:
+            return 1.0 + self.amplitude
+        return 1.0
+
+    def compile(self, iterations: int) -> tuple[FaultEvent, ...]:
+        """Lower the curve to scheduled ``plan_drift`` step events."""
+        events: list[FaultEvent] = []
+        for i in range(1, iterations):
+            ratio = self.intensity(i) / self.intensity(i - 1)
+            if abs(ratio - 1.0) <= 1e-12:
+                continue
+            events.append(
+                FaultEvent(kind=PLAN_DRIFT, iteration=i, magnitude=ratio, recover_after=0)
+            )
+        return tuple(events)
+
+    def to_dict(self) -> dict:
+        return {
+            "shape": self.shape,
+            "amplitude": self.amplitude,
+            "period": self.period,
+            "burst_at": self.burst_at,
+            "burst_length": self.burst_length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalCurve":
+        return cls(
+            shape=data.get("shape", "steady"),
+            amplitude=float(data.get("amplitude", 0.0)),
+            period=int(data.get("period", 8)),
+            burst_at=int(data.get("burst_at", 0)),
+            burst_length=int(data.get("burst_length", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded random-workload sample plus its batch size.
+
+    Thin, serializable wrapper over
+    :class:`~repro.preprocessing.random_plans.RandomPlanConfig`: the same
+    ``plan_seed`` always rebuilds the same graphs, which is what lets a
+    scenario ship as a few integers instead of a graph dump.
+    """
+
+    plan_seed: int = 0
+    num_dense: int = 3
+    num_sparse: int = 4
+    min_chain: int = 2
+    max_chain: int = 4
+    num_ngram_graphs: int = 1
+    ngram_width: int = 2
+    batch: int = 512
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be positive")
+        self.to_random_config()  # delegate knob validation
+
+    def to_random_config(self) -> RandomPlanConfig:
+        return RandomPlanConfig(
+            num_dense=self.num_dense,
+            num_sparse=self.num_sparse,
+            min_chain=self.min_chain,
+            max_chain=self.max_chain,
+            num_ngram_graphs=self.num_ngram_graphs,
+            ngram_width=self.ngram_width,
+            seed=self.plan_seed,
+        )
+
+    def build(self) -> tuple[GraphSet, object]:
+        """Materialize (graph set, schema) for this spec."""
+        return generate_random_plan(self.to_random_config(), rows=self.batch)
+
+    def to_dict(self) -> dict:
+        return {
+            "plan_seed": self.plan_seed,
+            "num_dense": self.num_dense,
+            "num_sparse": self.num_sparse,
+            "min_chain": self.min_chain,
+            "max_chain": self.max_chain,
+            "num_ngram_graphs": self.num_ngram_graphs,
+            "ngram_width": self.ngram_width,
+            "batch": self.batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(**{k: int(v) for k, v in data.items()})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete, serializable robustness experiment.
+
+    ``fleet`` is a tuple of profile handles (keys of
+    :data:`repro.gpusim.GPU_PROFILES`); mixed handles make the run
+    heterogeneous end to end (per-GPU stage profiles, slowest-link
+    interconnect, fingerprints, checkpoint fleet echo).
+    ``fault_schedule`` holds the correlated events the forge pre-draws --
+    same-host ``gpu_lost`` pairs, cascading pool crashes, drift storms --
+    expressed against *current* GPU indices at delivery time (the second
+    victim of a same-iteration pair is named post-compaction).
+    """
+
+    name: str
+    seed: int
+    workload: WorkloadSpec
+    fleet: tuple[str, ...]
+    iterations: int
+    fault_specs: tuple[FaultSpec, ...] = ()
+    fault_schedule: tuple[FaultEvent, ...] = ()
+    drift_schedule: tuple[LatencyDrift, ...] = ()
+    arrival: ArrivalCurve = field(default_factory=ArrivalCurve)
+    retry_jitter: float = 0.0
+    retry_budget: int = 0
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fleet", tuple(self.fleet))
+        object.__setattr__(self, "fault_specs", tuple(self.fault_specs))
+        object.__setattr__(self, "fault_schedule", tuple(self.fault_schedule))
+        object.__setattr__(self, "drift_schedule", tuple(self.drift_schedule))
+        object.__setattr__(self, "tags", tuple(self.tags))
+        if not self.fleet:
+            raise ValueError("a scenario needs at least one GPU")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.fleet)
+
+    @property
+    def heterogeneous(self) -> bool:
+        return len(set(self.fleet)) > 1
+
+    def resolve_fleet(self) -> tuple[GpuSpec, ...]:
+        return tuple(resolve_profile(handle) for handle in self.fleet)
+
+    def full_schedule(self) -> tuple[FaultEvent, ...]:
+        """Correlated events plus the compiled arrival curve, by iteration.
+
+        The sort is stable, so same-iteration correlated events keep their
+        authored order (which encodes post-compaction GPU indices).
+        """
+        merged = list(self.fault_schedule) + list(self.arrival.compile(self.iterations))
+        merged.sort(key=lambda e: e.iteration)
+        return tuple(merged)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def build_workload(self) -> tuple[GraphSet, TrainingWorkload]:
+        graphs, schema = self.workload.build()
+        specs = self.resolve_fleet()
+        workload = TrainingWorkload(
+            model_for_plan(graphs, schema),
+            num_gpus=self.num_gpus,
+            local_batch=self.workload.batch,
+            spec=specs[0],
+            specs=specs,
+        )
+        return graphs, workload
+
+    def build_injector(self) -> FaultInjector:
+        return FaultInjector(
+            specs=self.fault_specs, seed=self.seed, schedule=self.full_schedule()
+        )
+
+    def build_retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            jitter_fraction=self.retry_jitter,
+            retry_budget_per_epoch=self.retry_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SCENARIO_FORMAT_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "workload": self.workload.to_dict(),
+            "fleet": list(self.fleet),
+            "iterations": self.iterations,
+            "fault_specs": [
+                {
+                    "kind": s.kind,
+                    "rate": s.rate,
+                    "magnitude": s.magnitude,
+                    "persistence": s.persistence,
+                }
+                for s in self.fault_specs
+            ],
+            "fault_schedule": [e.to_dict() for e in self.fault_schedule],
+            "drift_schedule": [d.to_dict() for d in self.drift_schedule],
+            "arrival": self.arrival.to_dict(),
+            "retry_jitter": self.retry_jitter,
+            "retry_budget": self.retry_budget,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        version = int(data.get("format_version", SCENARIO_FORMAT_VERSION))
+        if version > SCENARIO_FORMAT_VERSION:
+            raise ValueError(
+                f"scenario format_version {version} is newer than this build "
+                f"understands ({SCENARIO_FORMAT_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            seed=int(data["seed"]),
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            fleet=tuple(data["fleet"]),
+            iterations=int(data["iterations"]),
+            fault_specs=tuple(FaultSpec(**s) for s in data.get("fault_specs", [])),
+            fault_schedule=tuple(
+                FaultEvent.from_dict(e) for e in data.get("fault_schedule", [])
+            ),
+            drift_schedule=tuple(
+                LatencyDrift.from_dict(d) for d in data.get("drift_schedule", [])
+            ),
+            arrival=ArrivalCurve.from_dict(data.get("arrival", {})),
+            retry_jitter=float(data.get("retry_jitter", 0.0)),
+            retry_budget=int(data.get("retry_budget", 0)),
+            tags=tuple(data.get("tags", [])),
+        )
+
+    def canonical_json(self) -> str:
+        """Sorted-key, fixed-separator JSON -- the replayability currency."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def with_overrides(self, **changes) -> "Scenario":
+        """A copy with fields replaced (triage's shrinking primitive)."""
+        return replace(self, **changes)
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Content address of a scenario (SHA-256 of its canonical JSON)."""
+    return hashlib.sha256(scenario.canonical_json().encode()).hexdigest()

@@ -1,0 +1,105 @@
+"""Shrinking failing scenarios to minimal reproducers.
+
+A forge-found failure arrives wrapped in everything the seed happened to
+sample -- background fault rates, drift windows, an arrival curve, a
+heterogeneous fleet -- most of which is irrelevant to the bug. Triage
+strips the scenario one dimension at a time, keeping each simplification
+only if the failure still reproduces, until no single removal preserves
+it. The result is 1-minimal: every remaining dimension is load-bearing,
+which is what makes a pinned regression test legible.
+
+The shrink moves are deliberately coarse (drop one scheduled event, drop
+one drift entry, drop one fault spec, flatten the arrival curve, zero the
+retry knobs, homogenize the fleet, halve the run, shrink the workload) so
+minimization stays a bounded number of re-runs rather than a search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .audit import audit_scenario
+from .scenario import ArrivalCurve, Scenario, WorkloadSpec
+
+__all__ = ["minimize_scenario", "reproduces_failure"]
+
+
+def reproduces_failure(scenario: Scenario, status: str) -> bool:
+    """Does running the scenario inline land on the same failure status?
+
+    ``timeout`` statuses are checked as ``error`` -- a child-process
+    timeout usually shows up inline as either a hang (which triage must
+    not risk) or an error; we only shrink the error-reproducible kind.
+    """
+    from .sweep import _run_inline
+
+    row = _run_inline(scenario, check_resume=False)
+    want = "error" if status == "timeout" else status
+    return row.get("status") == want
+
+
+def _shrink_candidates(scenario: Scenario) -> Iterator[tuple[str, Scenario]]:
+    """Every single-step simplification of a scenario, most drastic first."""
+    if scenario.fault_specs:
+        yield "drop-all-fault-specs", scenario.with_overrides(fault_specs=())
+    if scenario.drift_schedule:
+        yield "drop-all-drift", scenario.with_overrides(drift_schedule=())
+    if scenario.arrival.shape != "steady":
+        yield "flatten-arrival", scenario.with_overrides(arrival=ArrivalCurve())
+    if scenario.retry_jitter or scenario.retry_budget:
+        yield "default-retry", scenario.with_overrides(retry_jitter=0.0, retry_budget=0)
+    if scenario.heterogeneous:
+        yield (
+            "homogenize-fleet",
+            scenario.with_overrides(fleet=(scenario.fleet[0],) * scenario.num_gpus),
+        )
+    for i in range(len(scenario.fault_schedule)):
+        kept = scenario.fault_schedule[:i] + scenario.fault_schedule[i + 1 :]
+        yield f"drop-scheduled-{i}", scenario.with_overrides(fault_schedule=kept)
+    for i in range(len(scenario.fault_specs)):
+        kept = scenario.fault_specs[:i] + scenario.fault_specs[i + 1 :]
+        yield f"drop-spec-{i}", scenario.with_overrides(fault_specs=kept)
+    for i in range(len(scenario.drift_schedule)):
+        kept = scenario.drift_schedule[:i] + scenario.drift_schedule[i + 1 :]
+        yield f"drop-drift-{i}", scenario.with_overrides(drift_schedule=kept)
+    if scenario.iterations > 4:
+        yield (
+            "halve-iterations",
+            scenario.with_overrides(iterations=max(4, scenario.iterations // 2)),
+        )
+    small = WorkloadSpec(plan_seed=scenario.workload.plan_seed, batch=scenario.workload.batch)
+    if scenario.workload != small:
+        yield "shrink-workload", scenario.with_overrides(workload=small)
+
+
+def minimize_scenario(
+    scenario: Scenario,
+    failing: Callable[[Scenario], bool],
+    max_runs: int = 64,
+) -> Scenario:
+    """Greedy 1-minimal shrink of ``scenario`` under the ``failing`` oracle.
+
+    Every candidate must still pass the admission audit (shrinking may
+    orphan a scheduled event past a halved run; such candidates are
+    skipped, not repaired) and still fail. Stops after ``max_runs``
+    oracle invocations, so triage cost is bounded even for a stubborn
+    failure.
+    """
+    current = scenario
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for move, candidate in _shrink_candidates(current):
+            if runs >= max_runs:
+                break
+            if not audit_scenario(candidate).ok:
+                continue
+            runs += 1
+            if failing(candidate):
+                current = candidate.with_overrides(
+                    name=f"{scenario.name}-min", tags=current.tags + (move,)
+                )
+                progress = True
+                break
+    return current

@@ -17,7 +17,16 @@ Public surface
 - :class:`UtilizationTrace` -- profiling output for the figures.
 """
 
-from .resources import A100_SPEC, V100_SPEC, GpuSpec, ResourceVector, warps_to_sm_fraction
+from .resources import (
+    A100_SPEC,
+    GPU_PROFILES,
+    H100_SPEC,
+    V100_SPEC,
+    GpuSpec,
+    ResourceVector,
+    resolve_profile,
+    warps_to_sm_fraction,
+)
 from .kernel import KernelDesc, fuse_kernels, shard_kernel
 from .trace import TraceSegment, UtilizationTrace
 from .device import (
@@ -39,9 +48,12 @@ from .export import render_gantt, to_chrome_trace
 
 __all__ = [
     "A100_SPEC",
+    "H100_SPEC",
     "V100_SPEC",
+    "GPU_PROFILES",
     "GpuSpec",
     "ResourceVector",
+    "resolve_profile",
     "warps_to_sm_fraction",
     "KernelDesc",
     "fuse_kernels",

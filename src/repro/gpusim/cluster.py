@@ -66,20 +66,50 @@ class ClusterIterationResult:
 
 
 class MultiGpuCluster:
-    """A fully connected node of identical GPUs (the DGX-A100 testbed)."""
+    """A fully connected node of GPUs (the DGX-A100 testbed by default).
+
+    ``specs`` admits a heterogeneous fleet (mixed A100/H100-class devices):
+    device ``i`` is built from ``specs[i]``, and the shared interconnect is
+    sized by the *slowest* member's NVLink -- a mixed fabric negotiates down
+    to its weakest link. With ``specs`` omitted every device uses ``spec``
+    and behavior is unchanged.
+    """
 
     def __init__(
         self,
         num_gpus: int,
         spec: GpuSpec = A100_SPEC,
         interconnect: Interconnect | None = None,
+        specs: Sequence[GpuSpec] | None = None,
     ) -> None:
         if num_gpus < 1:
             raise ValueError("cluster needs at least one GPU")
+        if specs is not None and len(specs) != num_gpus:
+            raise ValueError(
+                f"specs lists {len(specs)} GPUs but the cluster has {num_gpus}"
+            )
         self.num_gpus = num_gpus
         self.spec = spec
-        self.devices = [GpuDevice(spec, device_id=i) for i in range(num_gpus)]
-        self.interconnect = interconnect or Interconnect(spec)
+        self.specs = tuple(specs) if specs is not None else None
+        self.devices = [
+            GpuDevice(self.spec_for_gpu(i), device_id=i) for i in range(num_gpus)
+        ]
+        if interconnect is None:
+            fabric_spec = (
+                min(self.specs, key=lambda s: s.nvlink_bw_gbps) if self.specs else spec
+            )
+            interconnect = Interconnect(fabric_spec)
+        self.interconnect = interconnect
+
+    def spec_for_gpu(self, gpu_id: int) -> GpuSpec:
+        """The spec of one device (``spec`` for a homogeneous fleet)."""
+        if not 0 <= gpu_id < self.num_gpus:
+            raise ValueError(f"gpu_id {gpu_id} out of range for {self.num_gpus} GPUs")
+        return self.specs[gpu_id] if self.specs is not None else self.spec
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.specs is not None and len(set(s.name for s in self.specs)) > 1
 
     def shrink(self, lost_gpu: int) -> "MultiGpuCluster":
         """The survivor cluster after one GPU is permanently lost.
@@ -93,8 +123,13 @@ class MultiGpuCluster:
             raise ValueError(f"lost_gpu {lost_gpu} out of range for {self.num_gpus} GPUs")
         if self.num_gpus < 2:
             raise ValueError("cannot shrink a single-GPU cluster")
+        survivors = (
+            tuple(s for i, s in enumerate(self.specs) if i != lost_gpu)
+            if self.specs is not None
+            else None
+        )
         return MultiGpuCluster(
-            self.num_gpus - 1, self.spec, interconnect=self.interconnect
+            self.num_gpus - 1, self.spec, interconnect=self.interconnect, specs=survivors
         )
 
     def simulate_iteration(

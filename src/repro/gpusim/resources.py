@@ -20,7 +20,10 @@ __all__ = [
     "GpuSpec",
     "ResourceVector",
     "A100_SPEC",
+    "H100_SPEC",
     "V100_SPEC",
+    "GPU_PROFILES",
+    "resolve_profile",
     "warps_to_sm_fraction",
 ]
 
@@ -63,6 +66,17 @@ class GpuSpec:
 
 
 A100_SPEC = GpuSpec()
+H100_SPEC = GpuSpec(
+    name="H100-80GB",
+    num_sms=132,
+    warps_per_sm=64,
+    dram_bw_gbps=3350.0,
+    mem_gb=80.0,
+    fp32_tflops=66.9,
+    nvlink_bw_gbps=450.0,
+    pcie_bw_gbps=64.0,
+    kernel_launch_us=4.0,
+)
 V100_SPEC = GpuSpec(
     name="V100-32GB",
     num_sms=80,
@@ -73,6 +87,28 @@ V100_SPEC = GpuSpec(
     nvlink_bw_gbps=150.0,
     pcie_bw_gbps=16.0,
 )
+
+#: Named GPU profiles for heterogeneous-fleet construction (scenario forge,
+#: ``--fleet`` CLI). Keys are the short lowercase handles serialized into
+#: scenarios and checkpoints; treat them as append-only identifiers.
+GPU_PROFILES: dict[str, GpuSpec] = {
+    "a100": A100_SPEC,
+    "h100": H100_SPEC,
+    "v100": V100_SPEC,
+}
+
+
+def resolve_profile(name: str) -> GpuSpec:
+    """Look up a GPU profile by handle (``a100``) or full spec name."""
+    key = name.strip().lower()
+    if key in GPU_PROFILES:
+        return GPU_PROFILES[key]
+    for spec in GPU_PROFILES.values():
+        if spec.name.lower() == key:
+            return spec
+    raise ValueError(
+        f"unknown GPU profile {name!r}; expected one of {', '.join(sorted(GPU_PROFILES))}"
+    )
 
 
 def warps_to_sm_fraction(num_warps: float, spec: GpuSpec) -> float:

@@ -305,6 +305,9 @@ class FaultTolerantRuntime:
         self._membership_log: list[MembershipChange] = []
         self._cpu_only = False
         self._cpu_train_us: float | None = None
+        # Retry attempts charged against the current plan epoch (only
+        # consulted when the policy sets a per-epoch budget).
+        self._epoch_retry_used = 0
 
     @property
     def workload(self):
@@ -354,9 +357,21 @@ class FaultTolerantRuntime:
             raise ValueError("num_iterations must be >= 1")
         if report is None:
             report = ResilienceReport()
-        self._journal(
-            "run", start_iteration=start_iteration, num_iterations=num_iterations
-        )
+        run_fields: dict = {
+            "start_iteration": start_iteration,
+            "num_iterations": num_iterations,
+        }
+        schedule = getattr(self.injector, "schedule", None)
+        if isinstance(schedule, (list, tuple)) and schedule:
+            # The correlated pre-drawn events are part of the run's identity:
+            # journaling them up front makes the journal alone sufficient to
+            # replay the run (rate-drawn faults replay from the seed echo in
+            # the checkpoint). Only emitted when a schedule is live, so
+            # legacy journals keep their exact bytes. Duck-typed injectors
+            # (tests script faults with a dict keyed by iteration) are left
+            # out of the journal -- their schedule is not a FaultEvent list.
+            run_fields["fault_schedule"] = [e.to_dict() for e in schedule]
+        self._journal("run", **run_fields)
         for i in range(start_iteration, start_iteration + num_iterations):
             before_membership = len(self._membership_log)
             record, faults, transitions = self.run_iteration(i)
@@ -638,6 +653,7 @@ class FaultTolerantRuntime:
         self._cpu_kernels.clear()
         self.watchdog.reset()
         self.plan_epoch += 1
+        self._epoch_retry_used = 0
         if self.telemetry is not None:
             self.telemetry.note_replan(iteration, reason, self.plan_epoch)
         self._journal(
@@ -803,6 +819,7 @@ class FaultTolerantRuntime:
             self._cpu_train_us = None
             self._original_ids.pop(gpu)
             self.plan_epoch += 1
+            self._epoch_retry_used = 0
             change = MembershipChange(
                 iteration=iteration,
                 lost_gpu=gpu,
@@ -840,6 +857,7 @@ class FaultTolerantRuntime:
         reshard_us = reshard_cost_us(moved_bytes, spec)
         self._pending_recovery_us += reshard_us
         self.plan_epoch += 1
+        self._epoch_retry_used = 0
         if self.telemetry is not None:
             self.telemetry.note_replan(iteration, "membership", self.plan_epoch)
         change = MembershipChange(
@@ -924,10 +942,16 @@ class FaultTolerantRuntime:
                 "model": self.workload.config.name,
                 "num_gpus": self.workload.num_gpus,
                 "local_batch": self.workload.local_batch,
+                "fleet": list(self.workload.fleet_profile),
             },
         }
-        # Calibration state rides in the snapshot only when telemetry is
-        # live, keeping telemetry-off checkpoints byte-stable.
+        # The optional extensions below ride in the snapshot only when
+        # their feature is live, keeping legacy checkpoints byte-stable.
+        schedule = getattr(self.injector, "schedule", None)
+        if isinstance(schedule, (list, tuple)) and schedule:
+            state["injector"]["schedule"] = [e.to_dict() for e in schedule]
+        if self.retry_policy.retry_budget_per_epoch > 0:
+            state["epoch_retry_used"] = self._epoch_retry_used
         if self.drift_schedule:
             state["drift_schedule"] = [d.to_dict() for d in self.drift_schedule]
         if self.telemetry is not None:
@@ -988,6 +1012,15 @@ class FaultTolerantRuntime:
                 live, _, _ = live.shrunk(change.lost_gpu)
             # A terminal change (survivors == 0) keeps the last 1-GPU
             # workload object; the cpu_only flag governs execution.
+        saved_fleet = state.get("workload", {}).get("fleet")
+        if saved_fleet is not None and list(live.fleet_profile) != list(saved_fleet):
+            # Stage capacities, bandwidths, and the plan itself were all
+            # priced against the checkpointed fleet's device profiles; a
+            # different mix would silently diverge from the killed run.
+            raise ValueError(
+                f"checkpoint was cut on fleet {list(saved_fleet)}, but the resuming "
+                f"workload is {list(live.fleet_profile)}"
+            )
         planner = make_planner(live)
         plan = plan_from_json(snapshot.plan_text, live, graph_set)
         if drift_schedule is None:
@@ -1019,6 +1052,7 @@ class FaultTolerantRuntime:
         runtime._original_ids = [
             int(g) for g in state.get("original_ids", range(live.num_gpus))
         ]
+        runtime._epoch_retry_used = int(state.get("epoch_retry_used", 0))
         runtime.watchdog.load_state(state.get("watchdog", {}))
         calibration = state.get("calibration")
         if calibration is not None and telemetry is not None:
@@ -1202,19 +1236,30 @@ class FaultTolerantRuntime:
         """A failing kernel retries in place, then descends the ladder."""
         policy = self.retry_policy
         depth = rec.event.recover_after
-        allowed = policy.attempts_within(stage_duration, kernel.duration_us)
+        # The jitter token is a pure function of the fault event, so a
+        # resumed run replays identical (jittered) backoff pauses.
+        token = f"{rec.event.iteration}:{rec.event.gpu}:{rec.event.kernel}"
+        allowed = policy.attempts_within(stage_duration, kernel.duration_us, token)
+        if policy.retry_budget_per_epoch > 0:
+            # Correlated-burst guard: once the epoch's shared budget drains,
+            # further failures skip straight to demotion instead of
+            # retry-spinning through a fault storm.
+            remaining = max(0, policy.retry_budget_per_epoch - self._epoch_retry_used)
+            allowed = min(allowed, remaining)
 
         if 0 < depth <= allowed:
             # Recovered in place: depth failed attempts, then success.
             rec.retries = depth
             rec.wasted_us += depth * kernel.duration_us
-            rec.backoff_us += sum(policy.backoff_us(i) for i in range(depth))
+            rec.backoff_us += sum(policy.backoff_us(i, token) for i in range(depth))
+            self._epoch_retry_used += depth
             self._restore(kernel, stage_idx, assignments, trailing)
             return
 
         rec.retries = allowed
         rec.wasted_us += allowed * kernel.duration_us
-        rec.backoff_us += sum(policy.backoff_us(i) for i in range(allowed))
+        rec.backoff_us += sum(policy.backoff_us(i, token) for i in range(allowed))
+        self._epoch_retry_used += allowed
 
         persistent = depth == -1
         if not persistent and stage is not None:

@@ -40,6 +40,7 @@ __all__ = [
     "PLAN_DRIFT",
     "GPU_LOST",
     "FAULT_KINDS",
+    "FAULT_KIND_IDS",
     "FAULT_EXCEPTIONS",
     "FaultSpec",
     "FaultEvent",
@@ -53,9 +54,19 @@ CPU_POOL_CRASH = "cpu_pool_crash"
 PLAN_DRIFT = "plan_drift"
 GPU_LOST = "gpu_lost"
 
+#: APPEND-ONLY contract: fault kinds are persisted by name in journals,
+#: checkpoints, plan artifacts, and forge scenarios, and the injector's
+#: per-iteration RNG consumes one draw per spec *in this tuple's order*.
+#: Reordering or removing an entry silently changes every replayed fault
+#: schedule; new kinds must be appended at the end. The positional ids in
+#: :data:`FAULT_KIND_IDS` are regression-pinned.
 FAULT_KINDS = (
     KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM, CPU_POOL_CRASH, PLAN_DRIFT, GPU_LOST,
 )
+
+#: Stable positional identifier of each kind (see the append-only contract
+#: on :data:`FAULT_KINDS`).
+FAULT_KIND_IDS = {kind: i for i, kind in enumerate(FAULT_KINDS)}
 
 #: Kinds that target one placed kernel (as opposed to the host or the plan).
 KERNEL_FAULT_KINDS = (KERNEL_FAILURE, LATENCY_OVERRUN, FUSED_OOM)
@@ -160,20 +171,42 @@ def _fused_sites(plan: RapPlan) -> list[tuple[int, int, str]]:
 
 @dataclass
 class FaultInjector:
-    """Draws a deterministic fault schedule against a plan, per iteration."""
+    """Draws a deterministic fault schedule against a plan, per iteration.
+
+    Two fault sources compose:
+
+    - ``specs``: independent per-iteration Bernoulli draws, one per kind
+      (the PR-1 behavior, byte-for-byte unchanged for existing seeds).
+    - ``schedule``: explicit pre-drawn :class:`FaultEvent` objects -- the
+      carrier for *correlated* fault patterns (same-host ``gpu_lost``
+      pairs, cascading pool crashes, drift storms) that independent draws
+      cannot express. Scheduled events fire before rate-drawn events in
+      their listed order and never consume RNG state, so adding a schedule
+      leaves the rate-drawn stream of a given seed untouched.
+    """
 
     specs: tuple[FaultSpec, ...] = ()
     seed: int = 0
+    schedule: tuple[FaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
         self.specs = tuple(self.specs)
         kinds = [s.kind for s in self.specs]
         if len(kinds) != len(set(kinds)):
             raise ValueError("at most one FaultSpec per fault kind")
+        self.schedule = tuple(self.schedule)
+        for event in self.schedule:
+            if event.kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"scheduled event has unknown fault kind {event.kind!r}; "
+                    f"expected one of {FAULT_KINDS}"
+                )
+            if event.iteration < 0:
+                raise ValueError("scheduled events need a non-negative iteration")
 
     @property
     def enabled(self) -> bool:
-        return any(spec.rate > 0 for spec in self.specs)
+        return any(spec.rate > 0 for spec in self.specs) or bool(self.schedule)
 
     # ------------------------------------------------------------------
 
@@ -187,6 +220,7 @@ class FaultInjector:
         events: list[FaultEvent] = []
         if not self.enabled:
             return events
+        events.extend(e for e in self.schedule if e.iteration == iteration)
         rng = self._rng(iteration)
         for spec in self.specs:
             if rng.random() >= spec.rate:

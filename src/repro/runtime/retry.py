@@ -8,10 +8,24 @@ much recovery time a single placement may burn relative to its host
 stage's overlapping capacity -- beyond it the runtime stops retrying and
 demotes down the degradation ladder instead, mirroring how tf.data-service
 style pipelines bound head-of-line blocking from a sick worker.
+
+Two mechanisms bound *correlated* fault bursts (many kernels failing in
+the same window, as a forge-generated fault storm produces):
+
+- **Deterministic jitter**: with ``jitter_fraction > 0`` each backoff
+  pause is perturbed by a pure function of ``(token, attempt)``, so
+  co-failing kernels decorrelate their retry pressure instead of hammering
+  the device in lockstep -- while the same run replays bit-identically.
+- **Per-epoch retry budget**: ``retry_budget_per_epoch`` caps the total
+  retry attempts charged against one plan epoch. A storm drains the budget
+  and every further failure demotes down the ladder immediately --
+  deterministic exhaustion instead of unbounded retry-spinning. The budget
+  refills when a replan installs a new epoch.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 __all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
@@ -24,7 +38,10 @@ class RetryPolicy:
     ``max_attempts`` bounds retries of the same placement;
     ``stage_deadline_fraction`` additionally bounds the *time* spent
     recovering at a stage to a fraction of that stage's duration, whichever
-    limit hits first.
+    limit hits first. ``jitter_fraction`` spreads each backoff pause by up
+    to that fraction of its nominal value (deterministically, keyed by the
+    caller's ``token``), and ``retry_budget_per_epoch`` (0 = unlimited)
+    caps total retries per plan epoch across all kernels.
     """
 
     max_attempts: int = 2
@@ -32,6 +49,8 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     max_backoff_us: float = 5_000.0
     stage_deadline_fraction: float = 2.0
+    jitter_fraction: float = 0.0
+    retry_budget_per_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 0:
@@ -42,28 +61,49 @@ class RetryPolicy:
             raise ValueError("backoff_multiplier must be >= 1")
         if self.stage_deadline_fraction <= 0:
             raise ValueError("stage_deadline_fraction must be positive")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.retry_budget_per_epoch < 0:
+            raise ValueError("retry_budget_per_epoch must be non-negative")
 
-    def backoff_us(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based), capped."""
+    def backoff_us(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (0-based), capped and jittered.
+
+        ``token`` identifies the retrying site (kernel/GPU/iteration); two
+        sites backing off from a correlated burst draw different jitter, a
+        replay of the same site draws the same. With ``jitter_fraction=0``
+        the jitter RNG is never constructed and the value matches the
+        pre-jitter policy exactly.
+        """
         if attempt < 0:
             raise ValueError("attempt must be non-negative")
-        return min(self.max_backoff_us, self.base_backoff_us * self.backoff_multiplier**attempt)
+        nominal = min(
+            self.max_backoff_us, self.base_backoff_us * self.backoff_multiplier**attempt
+        )
+        if self.jitter_fraction <= 0.0 or nominal <= 0.0:
+            return nominal
+        # String seeding survives PYTHONHASHSEED, matching the fault
+        # injector's determinism contract.
+        u = random.Random(f"rap-retry:{token}:{attempt}").random()
+        return nominal * (1.0 + self.jitter_fraction * (2.0 * u - 1.0))
 
     def stage_deadline_us(self, stage_duration_us: float) -> float:
         """Maximum recovery wall time budgeted against one stage."""
         return self.stage_deadline_fraction * max(0.0, stage_duration_us)
 
-    def attempts_within(self, stage_duration_us: float, attempt_cost_us: float) -> int:
+    def attempts_within(
+        self, stage_duration_us: float, attempt_cost_us: float, token: str = ""
+    ) -> int:
         """How many retry attempts fit the stage deadline.
 
-        Each attempt costs one wasted kernel run plus its backoff pause;
-        the count is clipped to ``max_attempts``.
+        Each attempt costs one wasted kernel run plus its (jittered)
+        backoff pause; the count is clipped to ``max_attempts``.
         """
         deadline = self.stage_deadline_us(stage_duration_us)
         spent = 0.0
         attempts = 0
         while attempts < self.max_attempts:
-            cost = attempt_cost_us + self.backoff_us(attempts)
+            cost = attempt_cost_us + self.backoff_us(attempts, token)
             if spent + cost > deadline:
                 break
             spent += cost

@@ -63,6 +63,26 @@ class TestRoundTrip:
             assert a.demand.sm == pytest.approx(b.demand.sm)
             assert a.tag == b.tag
 
+    def test_fused_members_survive_the_round_trip(self, setting):
+        # A fused kernel's member descriptors are the de-fuse path of the
+        # fused-OOM recovery ladder; dropping them made a restored plan
+        # recover differently than the run that wrote the checkpoint
+        # (found by the scenario forge, seed 6).
+        graphs, workload, _, plan = setting
+        restored = plan_from_json(plan_to_json(plan), workload, graphs)
+        orig = [k for a in plan.assignments_per_gpu for ks in a.values() for k in ks]
+        back = [k for a in restored.assignments_per_gpu for ks in a.values() for k in ks]
+        fused = [(a, b) for a, b in zip(orig, back) if a.meta.get("member_kernels")]
+        assert fused, "plan 1 fuses at least one kernel group"
+        for a, b in fused:
+            members_a = a.meta["member_kernels"]
+            members_b = b.meta["member_kernels"]
+            assert [m.name for m in members_a] == [m.name for m in members_b]
+            for ma, mb in zip(members_a, members_b):
+                assert ma.duration_us == pytest.approx(mb.duration_us)
+                assert ma.tag == mb.tag
+                assert "member_kernels" not in (mb.meta or {})
+
     def test_codegen_still_works(self, setting):
         graphs, workload, _, plan = setting
         restored = plan_from_json(plan_to_json(plan), workload, graphs)

@@ -1,0 +1,129 @@
+"""Admission audit: each invariant family rejects what it should."""
+
+from repro.forge import ScenarioForge, Scenario, WorkloadSpec, audit_scenario
+from repro.forge.scenario import ArrivalCurve
+from repro.runtime import CPU_POOL_CRASH, GPU_LOST, KERNEL_FAILURE, PLAN_DRIFT, FaultEvent, FaultSpec
+from repro.telemetry import LatencyDrift
+
+
+def base_scenario(**overrides) -> Scenario:
+    fields = dict(
+        name="audit-case",
+        seed=1,
+        workload=WorkloadSpec(plan_seed=1, num_dense=2, num_sparse=3, batch=256),
+        fleet=("a100", "a100", "a100"),
+        iterations=8,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def findings_for(scenario, check=None):
+    result = audit_scenario(scenario)
+    if check is None:
+        return result.findings
+    return [f for f in result.findings if f.check == check]
+
+
+class TestFeasibility:
+    def test_clean_scenario_passes(self):
+        assert audit_scenario(base_scenario()).ok
+
+    def test_unknown_profile_rejected(self):
+        bad = base_scenario(fleet=("a100", "tpu-v9"))
+        found = findings_for(bad, "feasibility")
+        assert found and "tpu-v9" in found[0].detail
+
+    def test_out_of_run_event_rejected(self):
+        bad = base_scenario(
+            fault_schedule=(FaultEvent(kind=CPU_POOL_CRASH, iteration=50),)
+        )
+        assert any("outside" in f.detail for f in findings_for(bad, "feasibility"))
+
+    def test_kernel_kind_cannot_be_scheduled(self):
+        bad = base_scenario(
+            fault_schedule=(
+                FaultEvent(kind=KERNEL_FAILURE, iteration=2, gpu=0, kernel="k"),
+            )
+        )
+        assert any("cannot be scheduled" in f.detail for f in findings_for(bad, "feasibility"))
+
+    def test_killing_the_whole_fleet_rejected(self):
+        bad = base_scenario(
+            fault_schedule=tuple(
+                FaultEvent(kind=GPU_LOST, iteration=2 + i, gpu=0, recover_after=-1)
+                for i in range(3)
+            )
+        )
+        assert any("kills all" in f.detail for f in findings_for(bad, "feasibility"))
+
+    def test_phantom_gpu_victim_rejected(self):
+        bad = base_scenario(
+            fault_schedule=(FaultEvent(kind=GPU_LOST, iteration=2, gpu=7, recover_after=-1),)
+        )
+        assert any("does not exist" in f.detail for f in findings_for(bad, "feasibility"))
+
+    def test_post_compaction_indexing_is_understood(self):
+        # Original pair (0, 2) on a 3-GPU fleet: second victim is index 1
+        # after compaction -- legal even though only indices 0..1 survive.
+        good = base_scenario(
+            fault_schedule=(
+                FaultEvent(kind=GPU_LOST, iteration=3, gpu=0, recover_after=-1),
+                FaultEvent(kind=GPU_LOST, iteration=3, gpu=1, recover_after=-1),
+            )
+        )
+        assert not findings_for(good, "feasibility")
+
+    def test_unknown_drift_op_rejected(self):
+        bad = base_scenario(drift_schedule=(LatencyDrift("Teleport", 1.5),))
+        assert any("Teleport" in f.detail for f in findings_for(bad, "feasibility"))
+
+    def test_late_drift_rejected(self):
+        bad = base_scenario(
+            drift_schedule=(LatencyDrift("SigridHash", 1.5, start_iteration=99),)
+        )
+        assert any("after the run ends" in f.detail for f in findings_for(bad, "feasibility"))
+
+
+class TestConservation:
+    def test_runaway_scale_rejected(self):
+        bad = base_scenario(
+            fault_schedule=tuple(
+                FaultEvent(kind=PLAN_DRIFT, iteration=i, magnitude=2.0, recover_after=0)
+                for i in range(1, 6)
+            )
+        )
+        assert any("escapes" in f.detail for f in findings_for(bad, "conservation"))
+
+    def test_spike_with_release_passes(self):
+        good = base_scenario(
+            fault_schedule=(
+                FaultEvent(kind=PLAN_DRIFT, iteration=2, magnitude=2.0, recover_after=0),
+                FaultEvent(kind=PLAN_DRIFT, iteration=4, magnitude=0.5, recover_after=0),
+            )
+        )
+        assert not findings_for(good, "conservation")
+
+    def test_pathological_background_rate_rejected(self):
+        bad = base_scenario(fault_specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.9),))
+        assert any("noise" in f.detail for f in findings_for(bad, "conservation"))
+
+    def test_arrival_curve_counts_toward_scale(self):
+        good = base_scenario(arrival=ArrivalCurve(shape="diurnal", amplitude=0.4, period=4))
+        assert not findings_for(good, "conservation")
+
+
+class TestReplayability:
+    def test_forge_replay_checked_when_forge_given(self):
+        forge = ScenarioForge()
+        scenario = forge.generate(5)
+        assert audit_scenario(scenario, forge).ok
+        # The same scenario under a different name no longer replays from
+        # its seed -- the audit must notice.
+        renamed = scenario.with_overrides(name="not-what-the-seed-makes")
+        bad = [
+            f
+            for f in audit_scenario(renamed, forge).findings
+            if f.check == "replayability"
+        ]
+        assert bad and "canonical bytes" in bad[0].detail

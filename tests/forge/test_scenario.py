@@ -1,0 +1,116 @@
+"""Scenario schema: serialization, canonical bytes, and arrival lowering."""
+
+import json
+
+import pytest
+
+from repro.forge import ArrivalCurve, Scenario, WorkloadSpec, scenario_digest
+from repro.runtime import CPU_POOL_CRASH, GPU_LOST, PLAN_DRIFT, FaultEvent, FaultSpec
+from repro.telemetry import LatencyDrift
+
+
+def sample_scenario() -> Scenario:
+    return Scenario(
+        name="pinned-sample",
+        seed=7,
+        workload=WorkloadSpec(plan_seed=3, num_dense=2, num_sparse=3, batch=256),
+        fleet=("a100", "h100", "a100"),
+        iterations=10,
+        fault_specs=(FaultSpec(kind="kernel_failure", rate=0.2),),
+        fault_schedule=(
+            FaultEvent(kind=GPU_LOST, iteration=4, gpu=1, recover_after=-1),
+            FaultEvent(kind=CPU_POOL_CRASH, iteration=6, magnitude=2.0),
+        ),
+        drift_schedule=(LatencyDrift("SigridHash", 1.5, start_iteration=2),),
+        arrival=ArrivalCurve(shape="diurnal", amplitude=0.3, period=5),
+        retry_jitter=0.25,
+        retry_budget=4,
+        tags=("pinned",),
+    )
+
+
+class TestSerialization:
+    def test_round_trip_is_digest_identical(self):
+        scenario = sample_scenario()
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+        assert scenario_digest(restored) == scenario_digest(scenario)
+
+    def test_canonical_json_is_stable_bytes(self):
+        a = sample_scenario().canonical_json()
+        b = sample_scenario().canonical_json()
+        assert a == b
+        # Canonical form: sorted keys, no whitespace.
+        assert json.loads(a)["name"] == "pinned-sample"
+        assert ": " not in a and ", " not in a
+
+    def test_json_round_trip_through_text(self):
+        scenario = sample_scenario()
+        text = json.dumps(scenario.to_dict())
+        assert Scenario.from_dict(json.loads(text)) == scenario
+
+    def test_newer_format_version_rejected(self):
+        data = sample_scenario().to_dict()
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="format_version"):
+            Scenario.from_dict(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one GPU"):
+            Scenario(name="x", seed=0, workload=WorkloadSpec(), fleet=(), iterations=5)
+        with pytest.raises(ValueError, match="iterations"):
+            Scenario(
+                name="x", seed=0, workload=WorkloadSpec(), fleet=("a100",), iterations=0
+            )
+
+
+class TestMaterialization:
+    def test_build_workload_threads_fleet(self):
+        scenario = sample_scenario()
+        graphs, workload = scenario.build_workload()
+        assert workload.num_gpus == 3
+        assert workload.heterogeneous
+        assert workload.fleet_profile == ("A100-40GB", "H100-80GB", "A100-40GB")
+        assert graphs.rows == scenario.workload.batch
+
+    def test_build_injector_carries_schedule(self):
+        scenario = sample_scenario()
+        injector = scenario.build_injector()
+        assert injector.seed == scenario.seed
+        kinds = [e.kind for e in injector.schedule]
+        assert GPU_LOST in kinds and CPU_POOL_CRASH in kinds
+        # The diurnal arrival curve lowered into plan-drift steps too.
+        assert PLAN_DRIFT in kinds
+
+    def test_retry_policy_knobs(self):
+        policy = sample_scenario().build_retry_policy()
+        assert policy.jitter_fraction == 0.25
+        assert policy.retry_budget_per_epoch == 4
+
+
+class TestArrivalCurve:
+    def test_steady_compiles_to_nothing(self):
+        assert ArrivalCurve().compile(12) == ()
+
+    def test_diurnal_steps_telescope(self):
+        curve = ArrivalCurve(shape="diurnal", amplitude=0.4, period=6)
+        events = curve.compile(12)
+        assert events and all(e.kind == PLAN_DRIFT for e in events)
+        product = 1.0
+        for event in events:
+            product *= event.magnitude
+        # The cumulative scale is exactly intensity(last)/intensity(0).
+        assert product == pytest.approx(curve.intensity(11) / curve.intensity(0))
+
+    def test_burst_spikes_and_releases(self):
+        curve = ArrivalCurve(shape="bursty", amplitude=0.5, burst_at=3, burst_length=2)
+        events = curve.compile(10)
+        assert [e.iteration for e in events] == [3, 5]
+        assert events[0].magnitude == pytest.approx(1.5)
+        assert events[1].magnitude == pytest.approx(1 / 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            ArrivalCurve(shape="square")
+        with pytest.raises(ValueError, match="amplitude"):
+            ArrivalCurve(shape="diurnal", amplitude=1.0)

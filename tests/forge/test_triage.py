@@ -1,0 +1,57 @@
+"""Triage: shrinking a failing scenario to a 1-minimal reproducer."""
+
+from repro.forge import ScenarioForge, audit_scenario
+from repro.forge.triage import minimize_scenario
+from repro.runtime import GPU_LOST
+
+
+def find_scenario_with(forge, tag):
+    for seed in range(200):
+        scenario = forge.generate(seed)
+        if tag in scenario.tags:
+            return scenario
+    raise AssertionError(f"no scenario with tag {tag} in 200 seeds")
+
+
+class TestMinimize:
+    def test_strips_everything_irrelevant_to_the_failure(self):
+        forge = ScenarioForge()
+        scenario = find_scenario_with(forge, "gpu-pair-loss")
+        # Synthetic oracle: the "bug" reproduces iff any gpu_lost is still
+        # scheduled. Everything else should be stripped.
+        failing = lambda s: any(e.kind == GPU_LOST for e in s.fault_schedule)  # noqa: E731
+        minimal = minimize_scenario(scenario, failing)
+
+        assert any(e.kind == GPU_LOST for e in minimal.fault_schedule)
+        assert minimal.fault_specs == ()
+        assert minimal.drift_schedule == ()
+        assert minimal.arrival.shape == "steady"
+        assert minimal.retry_jitter == 0.0 and minimal.retry_budget == 0
+        assert not minimal.heterogeneous
+        assert minimal.iterations <= scenario.iterations
+        assert minimal.name == f"{scenario.name}-min"
+
+    def test_minimal_reproducer_still_passes_the_audit(self):
+        forge = ScenarioForge()
+        scenario = find_scenario_with(forge, "pool-cascade")
+        failing = lambda s: bool(s.fault_schedule)  # noqa: E731
+        minimal = minimize_scenario(scenario, failing)
+        assert audit_scenario(minimal).ok
+
+    def test_non_reproducing_scenario_is_returned_unchanged(self):
+        forge = ScenarioForge()
+        scenario = forge.generate(0)
+        minimal = minimize_scenario(scenario, lambda s: False)
+        assert minimal == scenario
+
+    def test_oracle_budget_is_respected(self):
+        forge = ScenarioForge()
+        scenario = find_scenario_with(forge, "gpu-pair-loss")
+        calls = []
+
+        def counting(s):
+            calls.append(1)
+            return True
+
+        minimize_scenario(scenario, counting, max_runs=5)
+        assert len(calls) <= 5

@@ -1,0 +1,64 @@
+"""Heterogeneous MultiGpuCluster: per-device specs threaded through shrink."""
+
+import pytest
+
+from repro.gpusim import A100_SPEC, H100_SPEC, V100_SPEC, MultiGpuCluster
+
+
+class TestSpecThreading:
+    def test_spec_for_gpu_follows_the_fleet(self):
+        cluster = MultiGpuCluster(3, A100_SPEC, specs=(A100_SPEC, H100_SPEC, V100_SPEC))
+        assert cluster.heterogeneous
+        assert cluster.spec_for_gpu(0) is A100_SPEC
+        assert cluster.spec_for_gpu(1) is H100_SPEC
+        assert cluster.spec_for_gpu(2) is V100_SPEC
+
+    def test_homogeneous_default(self):
+        cluster = MultiGpuCluster(2, A100_SPEC)
+        assert not cluster.heterogeneous
+        assert cluster.spec_for_gpu(1) is A100_SPEC
+
+    def test_uniform_specs_are_not_heterogeneous(self):
+        cluster = MultiGpuCluster(2, A100_SPEC, specs=(A100_SPEC, A100_SPEC))
+        assert not cluster.heterogeneous
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="specs lists 2"):
+            MultiGpuCluster(3, A100_SPEC, specs=(A100_SPEC, H100_SPEC))
+
+
+class TestInterconnect:
+    def test_fabric_clamps_to_the_weakest_link(self):
+        mixed = MultiGpuCluster(3, A100_SPEC, specs=(A100_SPEC, H100_SPEC, V100_SPEC))
+        # The V100's 150 GB/s NVLink bounds the shared fabric, not the
+        # H100's 450 GB/s.
+        slowest = min(s.nvlink_bw_gbps for s in mixed.specs)
+        assert slowest == V100_SPEC.nvlink_bw_gbps
+        all_h100 = MultiGpuCluster(3, H100_SPEC)
+        size = 1 << 20
+        assert mixed.interconnect.all_reduce_us(size, 3) > all_h100.interconnect.all_reduce_us(
+            size, 3
+        )
+
+
+class TestShrink:
+    def test_shrink_drops_exactly_the_lost_spec(self):
+        cluster = MultiGpuCluster(3, A100_SPEC, specs=(A100_SPEC, H100_SPEC, V100_SPEC))
+        survivor = cluster.shrink(1)
+        assert survivor.num_gpus == 2
+        assert survivor.specs == (A100_SPEC, V100_SPEC)
+        assert survivor.heterogeneous
+        # The interconnect object is carried over: losing the H100 does not
+        # re-rate the fabric mid-run.
+        assert survivor.interconnect is cluster.interconnect
+
+    def test_shrink_to_homogeneous_remnant(self):
+        cluster = MultiGpuCluster(3, A100_SPEC, specs=(A100_SPEC, A100_SPEC, H100_SPEC))
+        survivor = cluster.shrink(2)
+        assert survivor.specs == (A100_SPEC, A100_SPEC)
+        assert not survivor.heterogeneous
+
+    def test_homogeneous_shrink_keeps_specs_unset(self):
+        survivor = MultiGpuCluster(3, A100_SPEC).shrink(0)
+        assert survivor.specs is None
+        assert survivor.spec_for_gpu(0) is A100_SPEC

@@ -1,0 +1,161 @@
+"""Fault replay compatibility: the append-only kind contract and the
+bit-identical replay of correlated schedules through journals/checkpoints."""
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    CPU_POOL_CRASH,
+    GPU_LOST,
+    KERNEL_FAILURE,
+    PLAN_DRIFT,
+    CheckpointManager,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantRuntime,
+    RunJournal,
+    SimulatedKill,
+)
+from repro.runtime.faults import FAULT_KIND_IDS, FAULT_KINDS
+
+BATCH = 512
+ITERATIONS = 10
+
+SCHEDULE = (
+    FaultEvent(kind=GPU_LOST, iteration=3, gpu=0, recover_after=-1),
+    FaultEvent(kind=GPU_LOST, iteration=3, gpu=0, recover_after=-1),  # post-compaction pair
+    FaultEvent(kind=CPU_POOL_CRASH, iteration=5, magnitude=2.0),
+    FaultEvent(kind=CPU_POOL_CRASH, iteration=6, magnitude=2.5),
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=BATCH)
+    workload = TrainingWorkload(
+        model_for_plan(graphs, schema), num_gpus=3, local_batch=BATCH
+    )
+    return graphs, workload
+
+
+class TestAppendOnlyContract:
+    def test_kind_ids_are_pinned(self):
+        # Positional ids are persisted implicitly by every journal and
+        # checkpoint; reordering FAULT_KINDS breaks replay of old artifacts.
+        assert FAULT_KIND_IDS == {
+            "kernel_failure": 0,
+            "latency_overrun": 1,
+            "fused_oom": 2,
+            "cpu_pool_crash": 3,
+            "plan_drift": 4,
+            "gpu_lost": 5,
+        }
+        assert list(FAULT_KINDS) == list(FAULT_KIND_IDS)
+
+    def test_schedule_validates_against_the_contract(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultInjector(schedule=(FaultEvent(kind="meteor_strike", iteration=0),))
+        with pytest.raises(ValueError, match="non-negative iteration"):
+            FaultInjector(schedule=(FaultEvent(kind=CPU_POOL_CRASH, iteration=-1),))
+
+
+class TestRngNeutrality:
+    def test_schedule_leaves_rate_drawn_stream_untouched(self, setting):
+        graphs, workload = setting
+        plan = RapPlanner(workload, parallel_search=False).plan(graphs)
+        specs = (FaultSpec(kind=KERNEL_FAILURE, rate=0.5), FaultSpec(kind=PLAN_DRIFT, rate=0.3))
+        plain = FaultInjector(specs=specs, seed=9)
+        scheduled = FaultInjector(specs=specs, seed=9, schedule=SCHEDULE)
+        for iteration in range(ITERATIONS):
+            base = plain.faults_for_iteration(iteration, plan)
+            both = scheduled.faults_for_iteration(iteration, plan)
+            extra = [e for e in SCHEDULE if e.iteration == iteration]
+            # Scheduled events are prepended; the seeded draws are identical.
+            assert both[: len(extra)] == extra
+            assert both[len(extra):] == base
+
+
+class TestReplay:
+    def run_once(self, setting, journal=None, checkpoints=None, kill_after=None):
+        graphs, workload = setting
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False),
+            graphs,
+            injector=FaultInjector(
+                specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.3),),
+                seed=9,
+                schedule=SCHEDULE,
+            ),
+            journal=journal,
+        )
+        try:
+            report = runtime.run(
+                ITERATIONS,
+                checkpoints=checkpoints,
+                checkpoint_every=4 if checkpoints else 0,
+                kill_after=kill_after,
+            )
+        except SimulatedKill:
+            return runtime, None
+        return runtime, report
+
+    def test_correlated_run_is_deterministic(self, setting):
+        _, first = self.run_once(setting)
+        _, second = self.run_once(setting)
+        assert first.to_dict() == second.to_dict()
+        # The schedule actually fired: the pair loss shrank the fleet twice.
+        assert len(first.membership_changes) >= 2
+
+    def test_journal_carries_the_schedule(self, setting, tmp_path):
+        with RunJournal(tmp_path / "journal.jsonl") as journal:
+            self.run_once(setting, journal=journal)
+        records = RunJournal.read(tmp_path / "journal.jsonl")
+        run_record = records[0]
+        assert run_record["type"] == "run"
+        replayed = tuple(
+            FaultEvent.from_dict(e) for e in run_record["fault_schedule"]
+        )
+        assert replayed == SCHEDULE
+
+    def test_checkpoint_resume_replays_schedule_bit_identically(self, setting, tmp_path):
+        graphs, workload = setting
+        _, uninterrupted = self.run_once(setting)
+
+        manager = CheckpointManager(tmp_path / "ckpt")
+        self.run_once(setting, checkpoints=manager, kill_after=6)
+        snapshot = manager.latest()
+        assert snapshot is not None
+
+        # The snapshot echoes the full injector identity -- seed, specs,
+        # and the correlated schedule -- so the resuming process rebuilds
+        # the exact same fault stream without out-of-band state.
+        echo = snapshot.state["injector"]
+        injector = FaultInjector(
+            specs=tuple(FaultSpec(**s) for s in echo["specs"]),
+            seed=echo["seed"],
+            schedule=tuple(FaultEvent.from_dict(e) for e in echo["schedule"]),
+        )
+        runtime, report, start = FaultTolerantRuntime.restore(
+            snapshot,
+            graphs,
+            workload,
+            make_planner=lambda wl: RapPlanner(wl, parallel_search=False),
+            injector=injector,
+        )
+        resumed = runtime.run(ITERATIONS - start, start_iteration=start, report=report)
+        assert resumed.to_dict() == uninterrupted.to_dict()
+
+    def test_schedule_absent_keeps_legacy_state_shape(self, setting):
+        graphs, workload = setting
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False),
+            graphs,
+            injector=FaultInjector(specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.2),), seed=1),
+        )
+        runtime.run(2)
+        state = runtime.state_dict()
+        assert "schedule" not in state["injector"]
+        assert "epoch_retry_used" not in state

@@ -1,0 +1,155 @@
+"""Heterogeneous fleets through the elastic runtime and checkpoint/resume."""
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.gpusim import A100_SPEC, H100_SPEC, V100_SPEC
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    GPU_LOST,
+    KERNEL_FAILURE,
+    CheckpointManager,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantRuntime,
+    SimulatedKill,
+)
+
+BATCH = 512
+MIXED = (A100_SPEC, H100_SPEC, V100_SPEC)
+
+
+@pytest.fixture(scope="module")
+def graphs_schema():
+    return build_plan(1, rows=BATCH)
+
+
+def mixed_workload(graphs_schema, specs=MIXED):
+    graphs, schema = graphs_schema
+    return TrainingWorkload(
+        model_for_plan(graphs, schema),
+        num_gpus=len(specs),
+        local_batch=BATCH,
+        spec=specs[0],
+        specs=specs,
+    )
+
+
+class TestHeteroWorkload:
+    def test_per_gpu_stage_profiles_differ(self, graphs_schema):
+        workload = mixed_workload(graphs_schema)
+        assert workload.heterogeneous
+        assert workload.fleet_profile == ("A100-40GB", "H100-80GB", "V100-32GB")
+        durations = [
+            sum(s.duration_us for s in workload.stages_for_gpu(gpu))
+            for gpu in range(3)
+        ]
+        # The H100 runs the same stages faster than the V100.
+        assert durations[1] < durations[2]
+
+    def test_planner_runs_on_mixed_fleet(self, graphs_schema):
+        graphs, _ = graphs_schema
+        workload = mixed_workload(graphs_schema)
+        report = RapPlanner(workload, parallel_search=False).plan_and_evaluate(graphs)
+        assert report.iteration_us > 0
+
+
+class TestElasticShrink:
+    def test_losing_a_gpu_drops_its_profile(self, graphs_schema):
+        graphs, _ = graphs_schema
+        workload = mixed_workload(graphs_schema)
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False),
+            graphs,
+            injector=FaultInjector(
+                seed=3,
+                schedule=(FaultEvent(kind=GPU_LOST, iteration=2, gpu=1, recover_after=-1),),
+            ),
+        )
+        report = runtime.run(5)
+        assert len(report.membership_changes) == 1
+        # GPU 1 was the H100; the survivors keep their own profiles.
+        assert runtime.workload.fleet_profile == ("A100-40GB", "V100-32GB")
+        assert runtime.workload.heterogeneous
+
+    def test_shrunk_hetero_run_is_deterministic(self, graphs_schema):
+        graphs, _ = graphs_schema
+
+        def one_run():
+            workload = mixed_workload(graphs_schema)
+            return FaultTolerantRuntime(
+                RapPlanner(workload, parallel_search=False),
+                graphs,
+                injector=FaultInjector(
+                    specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.3),),
+                    seed=8,
+                    schedule=(
+                        FaultEvent(kind=GPU_LOST, iteration=3, gpu=0, recover_after=-1),
+                    ),
+                ),
+            ).run(8)
+
+        assert one_run().to_dict() == one_run().to_dict()
+
+
+class TestHeteroResume:
+    def run_settings(self, graphs_schema):
+        graphs, _ = graphs_schema
+        injector = lambda: FaultInjector(  # noqa: E731
+            specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.3),), seed=6
+        )
+        return graphs, injector
+
+    def test_resume_on_mixed_fleet_is_bit_identical(self, graphs_schema, tmp_path):
+        graphs, injector = self.run_settings(graphs_schema)
+        workload = mixed_workload(graphs_schema)
+        uninterrupted = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False), graphs, injector=injector()
+        ).run(8)
+
+        manager = CheckpointManager(tmp_path / "ckpt")
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False), graphs, injector=injector()
+        )
+        with pytest.raises(SimulatedKill):
+            runtime.run(8, checkpoints=manager, checkpoint_every=3, kill_after=5)
+        snapshot = manager.latest()
+        assert snapshot.state["workload"]["fleet"] == [
+            "A100-40GB",
+            "H100-80GB",
+            "V100-32GB",
+        ]
+
+        restored, report, start = FaultTolerantRuntime.restore(
+            snapshot,
+            graphs,
+            mixed_workload(graphs_schema),
+            make_planner=lambda wl: RapPlanner(wl, parallel_search=False),
+            injector=injector(),
+        )
+        resumed = restored.run(8 - start, start_iteration=start, report=report)
+        assert resumed.to_dict() == uninterrupted.to_dict()
+
+    def test_resume_rejects_fleet_profile_mismatch(self, graphs_schema, tmp_path):
+        graphs, injector = self.run_settings(graphs_schema)
+        workload = mixed_workload(graphs_schema)
+        manager = CheckpointManager(tmp_path / "ckpt")
+        runtime = FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False), graphs, injector=injector()
+        )
+        with pytest.raises(SimulatedKill):
+            runtime.run(8, checkpoints=manager, checkpoint_every=3, kill_after=5)
+
+        # Same GPU count, different device mix: the checkpoint priced every
+        # stage and the plan itself against the original profiles.
+        impostor = mixed_workload(graphs_schema, specs=(A100_SPEC, A100_SPEC, A100_SPEC))
+        with pytest.raises(ValueError, match="fleet"):
+            FaultTolerantRuntime.restore(
+                manager.latest(),
+                graphs,
+                impostor,
+                make_planner=lambda wl: RapPlanner(wl, parallel_search=False),
+                injector=injector(),
+            )

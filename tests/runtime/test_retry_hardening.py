@@ -1,0 +1,119 @@
+"""Retry hardening: deterministic jitter and the per-epoch retry budget."""
+
+import random
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    KERNEL_FAILURE,
+    FaultInjector,
+    FaultSpec,
+    FaultTolerantRuntime,
+    RetryPolicy,
+)
+
+BATCH = 512
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=BATCH)
+    workload = TrainingWorkload(
+        model_for_plan(graphs, schema), num_gpus=2, local_batch=BATCH
+    )
+    return graphs, workload
+
+
+class TestJitter:
+    def test_zero_jitter_is_the_legacy_policy(self):
+        policy = RetryPolicy()
+        assert policy.backoff_us(0) == 25.0
+        assert policy.backoff_us(1) == 50.0
+        assert policy.backoff_us(0, token="anything") == 25.0
+
+    def test_jitter_is_a_pure_function_of_token_and_attempt(self):
+        policy = RetryPolicy(jitter_fraction=0.4)
+        a = policy.backoff_us(1, token="3:0:k_hash")
+        assert a == policy.backoff_us(1, token="3:0:k_hash")
+        # The exact perturbation is pinned to the string-seeded RNG stream.
+        u = random.Random("rap-retry:3:0:k_hash:1").random()
+        assert a == pytest.approx(50.0 * (1.0 + 0.4 * (2.0 * u - 1.0)))
+
+    def test_distinct_tokens_decorrelate(self):
+        policy = RetryPolicy(jitter_fraction=0.4)
+        values = {policy.backoff_us(0, token=f"5:{gpu}:k") for gpu in range(8)}
+        assert len(values) > 1
+
+    def test_jitter_stays_within_the_fraction(self):
+        policy = RetryPolicy(jitter_fraction=0.3)
+        for attempt in range(4):
+            nominal = RetryPolicy().backoff_us(attempt)
+            jittered = policy.backoff_us(attempt, token="t")
+            assert abs(jittered - nominal) <= 0.3 * nominal + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="jitter_fraction"):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError, match="retry_budget_per_epoch"):
+            RetryPolicy(retry_budget_per_epoch=-1)
+
+
+class TestEpochBudget:
+    def make_runtime(self, setting, policy):
+        graphs, workload = setting
+        return FaultTolerantRuntime(
+            RapPlanner(workload, parallel_search=False),
+            graphs,
+            injector=FaultInjector(
+                specs=(FaultSpec(kind=KERNEL_FAILURE, rate=0.9),), seed=4
+            ),
+            retry_policy=policy,
+        )
+
+    def test_storm_exhausts_the_budget_deterministically(self, setting):
+        budget = 2
+        budgeted_a = self.make_runtime(
+            setting, RetryPolicy(retry_budget_per_epoch=budget)
+        ).run(8)
+        budgeted_b = self.make_runtime(
+            setting, RetryPolicy(retry_budget_per_epoch=budget)
+        ).run(8)
+        # Deterministic: two budgeted runs are bit-identical.
+        assert budgeted_a.to_dict() == budgeted_b.to_dict()
+        # The budget invariant: retries charged against any one plan epoch
+        # never exceed the budget -- once it drains, every further fault in
+        # that epoch demotes down the ladder instead of retrying.
+        per_epoch: dict[int, int] = {}
+        for record in budgeted_a.iterations:
+            per_epoch[record.plan_epoch] = per_epoch.get(record.plan_epoch, 0) + record.retries
+        assert per_epoch, "storm produced no retry accounting at all"
+        assert all(total <= budget for total in per_epoch.values()), per_epoch
+        # The storm did push faults past retry into demotion.
+        assert budgeted_a.transitions
+
+    def test_budget_state_rides_the_checkpoint(self, setting):
+        runtime = self.make_runtime(setting, RetryPolicy(retry_budget_per_epoch=50))
+        runtime.run(4)
+        state = runtime.state_dict()
+        assert state["epoch_retry_used"] == runtime._epoch_retry_used
+        # A mid-epoch snapshot carries the partially-drained counter: a
+        # resume must not hand the new process a full budget.
+        runtime._epoch_retry_used = 7
+        assert runtime.state_dict()["epoch_retry_used"] == 7
+
+    def test_budget_refills_on_replan(self, setting):
+        runtime = self.make_runtime(setting, RetryPolicy(retry_budget_per_epoch=3))
+        runtime.run(6)
+        if runtime.plan_epoch > 0:
+            # At least one replan happened; the counter was reset then and
+            # only re-accumulated within the current epoch.
+            assert runtime._epoch_retry_used <= 3 * max(1, runtime.plan_epoch + 1)
+
+    def test_budgeted_run_with_jitter_is_deterministic(self, setting):
+        policy = RetryPolicy(jitter_fraction=0.3, retry_budget_per_epoch=4)
+        first = self.make_runtime(setting, policy).run(8)
+        second = self.make_runtime(setting, policy).run(8)
+        assert first.to_dict() == second.to_dict()
