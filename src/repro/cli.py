@@ -47,6 +47,13 @@ from .core import (
 from .dlrm import TrainingWorkload, model_for_plan
 from .experiments.reporting import format_kv, format_table
 from .gpusim import GPU_PROFILES, render_gantt, resolve_profile, to_chrome_trace
+from .ingest import (
+    OVERLOAD_POLICIES,
+    IngestMetrics,
+    PipelinedFeeder,
+    QueueConfig,
+    build_source,
+)
 from .preprocessing import OP_REGISTRY, SyntheticCriteoDataset, build_plan
 from .preprocessing.executor import execute_graph_set
 from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
@@ -367,6 +374,65 @@ def _check_resume_compat(snapshot, specs, args, drift_schedule=()) -> None:
         )
 
 
+def _make_feeder(args, telemetry) -> tuple[PipelinedFeeder | None, IngestMetrics | None]:
+    """Build the streaming-ingest feeder from ``--source`` (DESIGN.md §14)."""
+    ingest_flags = ("overload_policy", "queue_capacity", "ingest_workers", "ingest_depth")
+    if not args.source:
+        set_flags = [f for f in ingest_flags if getattr(args, f) is not None]
+        if set_flags:
+            raise ValueError(
+                f"--{set_flags[0].replace('_', '-')} requires --source"
+            )
+        return None, None
+    src = build_source(args.source, seed=args.seed)
+    rows = src.rows_per_batch
+    if args.verify_data > 0 and rows is not None and rows != args.batch:
+        raise ValueError(
+            f"--verify-data checks the plan on ingested batches, but the source "
+            f"yields {rows}-row batches while --batch is {args.batch}; align them"
+        )
+    metrics = IngestMetrics(telemetry.registry if telemetry is not None else None)
+    queue = QueueConfig(
+        capacity=args.queue_capacity if args.queue_capacity is not None else 4,
+        policy=args.overload_policy if args.overload_policy is not None else "block",
+    )
+    feeder = PipelinedFeeder(
+        src,
+        depth=args.ingest_depth if args.ingest_depth is not None else 2,
+        workers=args.ingest_workers if args.ingest_workers is not None else 1,
+        queue=queue,
+        metrics=metrics,
+    )
+    return feeder, metrics
+
+
+def _print_ingest_summary(runtime, metrics: IngestMetrics | None) -> None:
+    if metrics is None:
+        return
+    stalls = {
+        "producer": metrics.producer_stall_ratio.value,
+        "consumer": metrics.consumer_stall_ratio.value,
+    }
+    print()
+    print(
+        format_kv(
+            {
+                "source": runtime.feeder.produce.describe()
+                if hasattr(runtime.feeder.produce, "describe")
+                else "custom",
+                "batches ingested": runtime.batches_ingested,
+                "source epochs": runtime.ingest_epochs,
+                "queue peak depth": int(metrics.queue_peak_depth.value),
+                "drops / spills": f"{int(metrics.drops_total.value)} / "
+                f"{int(metrics.spills_total.value)}",
+                "stall ratios": f"producer {stalls['producer']:.3f}, "
+                f"consumer {stalls['consumer']:.3f}",
+            },
+            title="Streaming ingest",
+        )
+    )
+
+
 def cmd_run(args) -> int:
     _check_clobber(args.save_report, args.force)
     if args.resume and not args.checkpoint_dir:
@@ -375,6 +441,7 @@ def cmd_run(args) -> int:
     specs = [_parse_inject(s) for s in args.inject or []]
     drift_schedule = [_parse_drift(s) for s in args.drift or []]
     telemetry = _make_telemetry(args)
+    feeder, ingest_metrics = _make_feeder(args, telemetry)
     verifier = (
         DataPathVerifier(schema, every=args.verify_data, seed=args.seed)
         if args.verify_data > 0
@@ -407,6 +474,7 @@ def cmd_run(args) -> int:
                 telemetry=telemetry,
                 drift_schedule=drift_schedule or None,
                 verifier=verifier,
+                feeder=feeder,
             )
             if start >= args.iterations:
                 raise ValueError(
@@ -426,6 +494,7 @@ def cmd_run(args) -> int:
                 telemetry=telemetry,
                 drift_schedule=drift_schedule,
                 verifier=verifier,
+                feeder=feeder,
             )
         _bind_cache_metrics(runtime.planner, telemetry)
         print(
@@ -457,10 +526,13 @@ def cmd_run(args) -> int:
             )
             return 3
     finally:
+        if feeder is not None:
+            feeder.close()
         if journal is not None:
             journal.close()
     print()
     print(report.summary())
+    _print_ingest_summary(runtime, ingest_metrics)
     # The data-path block reports measured wall-clock, so it only appears
     # when the engine or verification was explicitly requested; the
     # default output stays byte-reproducible under a fixed seed.
@@ -618,6 +690,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-telemetry", action="store_true",
                        help="disable metrics, tracing, and online calibration; the "
                             "run is bit-identical to one without the subsystem")
+    p_run.add_argument("--source", metavar="SPEC[,SPEC...]",
+                       help="stream batches from URL-style ingest source(s) "
+                            "(csv://, jsonl://, parquet://, synthetic://, "
+                            "replay://; several comma-joined specs sample by "
+                            "their weight= params); one batch is pulled per "
+                            "iteration through the pipelined feeder, wrapping "
+                            "into a new epoch at source end (DESIGN.md §14)")
+    p_run.add_argument("--overload-policy", choices=OVERLOAD_POLICIES, default=None,
+                       help="backpressure-queue policy when producers outrun "
+                            "training: block (default), drop_oldest, or "
+                            "spill_to_disk; requires --source")
+    p_run.add_argument("--queue-capacity", type=int, default=None, metavar="N",
+                       help="backpressure queue capacity in batches (default 4); "
+                            "requires --source")
+    p_run.add_argument("--ingest-workers", type=int, default=None, metavar="N",
+                       help="producer pool size of the ingest feeder (default 1); "
+                            "requires --source")
+    p_run.add_argument("--ingest-depth", type=int, default=None, metavar="N",
+                       help="max batches in flight ahead of training (default 2); "
+                            "requires --source")
     _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 

@@ -112,6 +112,22 @@ class ArrivalCurve:
             return 1.0 + self.amplitude
         return 1.0
 
+    def delay_schedule(self, num_batches: int, base_delay_s: float) -> tuple[float, ...]:
+        """Lower the curve to per-batch arrival delays for a real source.
+
+        Intensity is a *rate*, so the gap in front of batch ``i`` is
+        ``base_delay_s / intensity(i)``: a burst packs batches together, a
+        diurnal trough spreads them out. Feed the result to
+        :class:`repro.ingest.sources.PacedSource` to drive an actual
+        ingest stream with the same curve the drift compiler uses, instead
+        of only rescaling synthetic plan ratios.
+        """
+        if num_batches < 1:
+            raise ValueError("num_batches must be >= 1")
+        if base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        return tuple(base_delay_s / self.intensity(i) for i in range(num_batches))
+
     def compile(self, iterations: int) -> tuple[FaultEvent, ...]:
         """Lower the curve to scheduled ``plan_drift`` step events."""
         events: list[FaultEvent] = []

@@ -1,0 +1,135 @@
+"""Ingest telemetry: the feeder/queue counters as registry metric families.
+
+`IngestMetrics` binds the ingest tier to a
+:class:`repro.telemetry.registry.MetricsRegistry` (lazily imported so
+`repro.ingest` never drags telemetry in at import time). Families, all
+prefixed ``rap_ingest_``:
+
+- ``batches_total`` / ``produced_total`` — batches delivered to the
+  consumer vs produced upstream (the gap is drops still in flight).
+- ``produce_seconds_total`` — producer-side wall time, for overlap math.
+- ``queue_depth`` (gauge) / ``queue_peak_depth`` — live and high-water
+  in-memory depth.
+- ``queue_wait_seconds`` (histogram) — enqueue-to-dequeue latency.
+- ``drops_total`` / ``spills_total`` / ``spill_restores_total`` — overload
+  policy activity.
+- ``producer_stall_seconds_total`` / ``consumer_stall_seconds_total`` and
+  the derived ``producer_stall_ratio`` / ``consumer_stall_ratio`` gauges —
+  who is waiting on whom (consumer-heavy ⇒ ingest is the bottleneck).
+- ``epochs_total`` — completed iterations of the feeder (each one a
+  fresh lease; >1 proves the multi-use lifecycle).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
+
+    from .queue import QueueStats
+
+__all__ = ["IngestMetrics", "INGEST_WAIT_BUCKETS_S"]
+
+# Enqueue-to-dequeue waits span "consumer was starving" (~0) to "queue sat
+# full for whole batches" (seconds); log-spaced like the latency buckets.
+INGEST_WAIT_BUCKETS_S = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+class IngestMetrics:
+    """Ingest counters registered on a metrics registry.
+
+    With ``registry=None`` a private registry is created, so the feeder
+    can always record unconditionally; pass ``telemetry.registry`` to
+    surface the families in the run's Prometheus/JSONL artifacts.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        if registry is None:
+            from repro.telemetry.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+        self.batches_total = registry.counter(
+            "rap_ingest_batches_total", "Batches delivered to the consumer."
+        )
+        self.produced_total = registry.counter(
+            "rap_ingest_produced_total", "Batches produced by the ingest workers."
+        )
+        self.produce_seconds_total = registry.counter(
+            "rap_ingest_produce_seconds_total",
+            "Wall-clock seconds spent producing batches.",
+        )
+        self.queue_depth = registry.gauge(
+            "rap_ingest_queue_depth", "Current in-memory backpressure queue depth."
+        )
+        self.queue_peak_depth = registry.gauge(
+            "rap_ingest_queue_peak_depth", "Peak in-memory backpressure queue depth."
+        )
+        self.queue_wait = registry.histogram(
+            "rap_ingest_queue_wait_seconds",
+            "Enqueue-to-dequeue wait per batch.",
+            buckets=INGEST_WAIT_BUCKETS_S,
+        )
+        self.drops_total = registry.counter(
+            "rap_ingest_drops_total", "Batches dropped by the drop_oldest policy."
+        )
+        self.spills_total = registry.counter(
+            "rap_ingest_spills_total", "Batches spilled to disk above the high watermark."
+        )
+        self.spill_restores_total = registry.counter(
+            "rap_ingest_spill_restores_total", "Spilled batches restored into memory."
+        )
+        self.producer_stall_seconds = registry.counter(
+            "rap_ingest_producer_stall_seconds_total",
+            "Seconds producers spent blocked on a full queue.",
+        )
+        self.consumer_stall_seconds = registry.counter(
+            "rap_ingest_consumer_stall_seconds_total",
+            "Seconds the consumer spent blocked on an empty queue.",
+        )
+        self.producer_stall_ratio = registry.gauge(
+            "rap_ingest_producer_stall_ratio",
+            "Producer stall seconds / lease wall seconds (last completed lease).",
+        )
+        self.consumer_stall_ratio = registry.gauge(
+            "rap_ingest_consumer_stall_ratio",
+            "Consumer stall seconds / lease wall seconds (last completed lease).",
+        )
+        self.epochs_total = registry.counter(
+            "rap_ingest_epochs_total", "Completed feeder iterations (leases)."
+        )
+
+    # -- feeder hooks ----------------------------------------------------
+
+    def record_produce(self, seconds: float) -> None:
+        self.produced_total.inc()
+        self.produce_seconds_total.inc(seconds)
+
+    def record_delivery(self) -> None:
+        self.batches_total.inc()
+
+    def absorb_queue_stats(self, stats: "QueueStats", *, wall_s: float) -> None:
+        """Fold one finished lease's queue counters into the registry."""
+        self.queue_depth.set(stats.depth)
+        self.queue_peak_depth.set(stats.peak_depth)
+        for wait in stats.wait_samples:
+            self.queue_wait.observe(wait)
+        if stats.drops:
+            self.drops_total.inc(stats.drops)
+        if stats.spills:
+            self.spills_total.inc(stats.spills)
+        if stats.restores:
+            self.spill_restores_total.inc(stats.restores)
+        if stats.producer_stall_s:
+            self.producer_stall_seconds.inc(stats.producer_stall_s)
+        if stats.consumer_stall_s:
+            self.consumer_stall_seconds.inc(stats.consumer_stall_s)
+        if wall_s > 0:
+            self.producer_stall_ratio.set(stats.producer_stall_s / wall_s)
+            self.consumer_stall_ratio.set(stats.consumer_stall_s / wall_s)
+
+    def record_epoch(self) -> None:
+        self.epochs_total.inc()

@@ -27,7 +27,6 @@ from .engine import (
     compile_graph_set,
     compile_op_groups,
 )
-from .pipeline import PipelinedFeeder, SyntheticBatchSource
 from .ops import (
     OP_REGISTRY,
     BoxCox,
@@ -58,6 +57,19 @@ from .executor import (
     execute_graph_set,
 )
 from .random_plans import RandomPlanConfig, generate_random_plan
+
+# The feeder moved to repro.ingest (which imports this package for the
+# column types); resolve the legacy names lazily to avoid the cycle.
+_INGEST_NAMES = ("PipelinedFeeder", "SyntheticBatchSource")
+
+
+def __getattr__(name: str):
+    if name in _INGEST_NAMES:
+        from repro import ingest
+
+        return getattr(ingest, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Batch",

@@ -52,6 +52,13 @@ def offsets_from_lengths(lengths: np.ndarray, out: np.ndarray | None = None) -> 
     if out is None:
         out = np.zeros(len(lengths) + 1, dtype=np.int64)
     else:
+        if len(out) != len(lengths) + 1:
+            raise ValueError(
+                f"out buffer has {len(out)} entries, need len(lengths) + 1 = "
+                f"{len(lengths) + 1}"
+            )
+        if not np.issubdtype(out.dtype, np.integer):
+            raise ValueError(f"out buffer must be an integer dtype, got {out.dtype}")
         out[0] = 0
     np.cumsum(lengths, out=out[1:])
     return out
@@ -86,10 +93,29 @@ def concat_csr_blocks(
     """
     total_rows = sum(len(o) - 1 for o in offsets_list)
     total_nnz = sum(int(o[-1]) for o in offsets_list)
+    values_dtype = np.result_type(*values_list) if values_list else np.dtype(np.int64)
     if out_offsets is None:
         out_offsets = np.empty(total_rows + 1, dtype=np.int64)
+    else:
+        if len(out_offsets) != total_rows + 1:
+            raise ValueError(
+                f"out_offsets has {len(out_offsets)} entries, need total_rows + 1 = "
+                f"{total_rows + 1}"
+            )
+        if not np.issubdtype(out_offsets.dtype, np.integer):
+            raise ValueError(f"out_offsets must be an integer dtype, got {out_offsets.dtype}")
     if out_values is None:
-        out_values = np.empty(total_nnz, dtype=values_list[0].dtype if values_list else np.int64)
+        out_values = np.empty(total_nnz, dtype=values_dtype)
+    else:
+        if len(out_values) != total_nnz:
+            raise ValueError(
+                f"out_values has {len(out_values)} entries, need total_nnz = {total_nnz}"
+            )
+        if not np.can_cast(values_dtype, out_values.dtype, casting="safe"):
+            raise ValueError(
+                f"out_values dtype {out_values.dtype} cannot safely hold "
+                f"input values of dtype {values_dtype}"
+            )
     out_offsets[0] = 0
     row, base = 0, 0
     for offs, vals in zip(offsets_list, values_list):
@@ -120,7 +146,9 @@ def rowwise_concat_csr(
     lengths = [lengths_from_offsets(o) for o in offsets_list]
     total_lengths = np.sum(lengths, axis=0)
     offsets = offsets_from_lengths(total_lengths)
-    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    # Preserve the input values dtype (promoted across inputs), matching
+    # concat_csr_blocks -- hardcoding int64 silently widened/narrowed.
+    values = np.empty(int(offsets[-1]), dtype=np.result_type(*values_list))
     prefix = np.zeros(rows, dtype=np.int64)
     for offs, vals, lens in zip(offsets_list, values_list, lengths):
         starts = offsets[:-1] + prefix

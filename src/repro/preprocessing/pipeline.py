@@ -1,169 +1,13 @@
-"""Inter-batch pipelined feeding (§6.3): prepare batch *i+1* under batch *i*.
+"""Compatibility shim: the pipelined feeder moved to :mod:`repro.ingest`.
 
-The paper's inter-batch workload interleaving hides the CPU-side data
-preparation of the *next* batch (storage fetch, decode, host staging)
-under the current batch's GPU work. :class:`PipelinedFeeder` realizes that
-on real data: a background worker pool runs the user's ``produce(index)``
-callable up to ``depth`` batches ahead while the consumer iterates results
-strictly in order.
-
-Guarantees:
-
-- **In-order delivery** -- batch ``i`` is always yielded before ``i+1``,
-  regardless of worker completion order.
-- **Bounded lookahead** -- at most ``depth`` batches are in flight, so
-  memory stays proportional to the window, not the epoch.
-- **Clean shutdown** -- exhausting the iterator, leaving the ``with``
-  block, or calling :meth:`PipelinedFeeder.close` always shuts the pool
-  down and cancels not-yet-started work; no workers are leaked.
-- **Exception propagation** -- a producer failure re-raises in the
-  consumer at the failed batch's position. In ``thread`` mode the original
-  exception object (with its original traceback) propagates; in
-  ``process`` mode the pickled exception carries the worker traceback in
-  its ``__cause__`` chain.
-
-``mode="thread"`` is the default and is the right choice whenever batch
-production blocks on I/O (storage or network fetch), which the sleep-based
-latency knob of :class:`SyntheticBatchSource` stands in for; numpy also
-releases the GIL on large array operations. ``mode="process"`` sidesteps
-the GIL for pure-Python/CPU-bound producers at the cost of pickling each
-batch across the process boundary.
+The feeder outgrew this module when ingestion became pluggable (URL-style
+sources, backpressure queues, telemetry — DESIGN.md §14) and its
+single-use lifecycle bug was fixed: each ``__iter__`` now leases a fresh
+worker pool, so re-iterating a feeder works and only the explicit
+``close()`` ends its life. Import from :mod:`repro.ingest` directly in new
+code; this module keeps the old import path working.
 """
 
-from __future__ import annotations
-
-import time
-from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Iterator
-
-from .data import Batch, CriteoSchema, SyntheticCriteoDataset
+from repro.ingest import PipelinedFeeder, SyntheticBatchSource
 
 __all__ = ["PipelinedFeeder", "SyntheticBatchSource"]
-
-
-@dataclass(frozen=True)
-class SyntheticBatchSource:
-    """Picklable batch producer over the synthetic Criteo generator.
-
-    ``io_delay_s`` models the per-batch storage/network fetch latency of a
-    real input pipeline (the component §6.3 interleaving exists to hide);
-    it is spent as a plain sleep before synthesis so thread-mode feeders
-    can genuinely overlap it with downstream execution.
-    """
-
-    schema: CriteoSchema
-    batch_size: int
-    seed: int = 2024
-    start: int = 0
-    io_delay_s: float = 0.0
-
-    def __call__(self, index: int) -> Batch:
-        if self.io_delay_s > 0:
-            time.sleep(self.io_delay_s)
-        dataset = SyntheticCriteoDataset(self.schema, seed=self.seed)
-        return dataset.batch(self.batch_size, index=self.start + index)
-
-
-class PipelinedFeeder:
-    """Double-buffered (depth-``d``) background batch producer.
-
-    Parameters
-    ----------
-    produce:
-        Callable mapping a batch index (``0 .. num_batches-1``) to a batch.
-        Must be picklable in ``process`` mode.
-    num_batches:
-        Total number of batches to produce.
-    depth:
-        Maximum batches in flight (2 = classic double buffering).
-    mode:
-        ``"thread"`` or ``"process"``.
-    workers:
-        Worker count of the underlying pool.
-    """
-
-    def __init__(
-        self,
-        produce: Callable[[int], Batch],
-        num_batches: int,
-        depth: int = 2,
-        mode: str = "thread",
-        workers: int = 1,
-    ) -> None:
-        if num_batches < 0:
-            raise ValueError("num_batches must be non-negative")
-        if depth < 1:
-            raise ValueError("depth must be at least 1 (2 = double buffering)")
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
-        if mode not in ("thread", "process"):
-            raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
-        self.produce = produce
-        self.num_batches = num_batches
-        self.depth = depth
-        self.mode = mode
-        self.workers = workers
-        self._pool: Executor | None = None
-        self._closed = False
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-
-    def __enter__(self) -> "PipelinedFeeder":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def close(self) -> None:
-        """Shut the worker pool down; idempotent, never leaks workers.
-
-        Waits for in-flight work and cancels batches that have not started.
-        """
-        self._closed = True
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
-
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    def _ensure_pool(self) -> Executor:
-        if self._closed:
-            raise RuntimeError("feeder is closed")
-        if self._pool is None:
-            if self.mode == "thread":
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="rap-feeder"
-                )
-            else:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
-
-    # ------------------------------------------------------------------
-    # Iteration
-    # ------------------------------------------------------------------
-
-    def __iter__(self) -> Iterator[Batch]:
-        pool = self._ensure_pool()
-        pending: deque = deque()
-        next_index = 0
-        try:
-            while pending or next_index < self.num_batches:
-                while next_index < self.num_batches and len(pending) < self.depth:
-                    pending.append(pool.submit(self.produce, next_index))
-                    next_index += 1
-                # .result() re-raises a producer exception: in thread mode
-                # the original exception object (original traceback); in
-                # process mode with the remote traceback as __cause__.
-                yield pending.popleft().result()
-        finally:
-            # Reached on exhaustion, consumer break, or producer failure:
-            # never leave workers running ahead of a consumer that is gone.
-            for fut in pending:
-                fut.cancel()
-            self.close()

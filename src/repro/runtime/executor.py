@@ -45,7 +45,7 @@ from ..core.planner import RapPlan, RapPlanner
 from ..core.serialization import kernel_from_dict, kernel_to_dict, plan_from_json, plan_to_json
 from ..dlrm.training import TrainingWorkload
 from ..gpusim.kernel import KernelDesc
-from ..preprocessing.data import CriteoSchema, SyntheticCriteoDataset
+from ..preprocessing.data import Batch, CriteoSchema, SyntheticCriteoDataset
 from ..preprocessing.executor import DataPreparation, execute_graph_set
 from ..preprocessing.graph import GraphSet
 from ..telemetry import (
@@ -175,14 +175,32 @@ class DataPathVerifier:
     def should_run(self, iteration: int) -> bool:
         return iteration % self.every == 0
 
-    def verify(self, plan: RapPlan, plan_epoch: int, iteration: int) -> DataVerification:
+    def verify(
+        self,
+        plan: RapPlan,
+        plan_epoch: int,
+        iteration: int,
+        batch: Batch | None = None,
+    ) -> DataVerification:
+        """Cross-check the plan on ``batch`` (default: a synthesized one).
+
+        Passing a real ingested batch grounds the check in the actual
+        stream instead of the generator; its row count must match the
+        plan's, since the compiled programs are lowered for a fixed shape.
+        """
         rows = plan.graph_set.rows
         if self._programs is None or self._programs_epoch != plan_epoch:
             self._programs = compile_plan(plan, rows=rows)
             self._programs_epoch = plan_epoch
-        batch = SyntheticCriteoDataset(self.schema, seed=self.seed).batch(
-            rows, index=iteration
-        )
+        if batch is None:
+            batch = SyntheticCriteoDataset(self.schema, seed=self.seed).batch(
+                rows, index=iteration
+            )
+        elif batch.size != rows:
+            raise ValueError(
+                f"ingested batch has {batch.size} rows but the plan was lowered "
+                f"for {rows}; align --batch with the source's batch size"
+            )
         golden = execute_graph_set(plan.graph_set, batch)
         checked = 0
         mismatched: list[str] = []
@@ -263,6 +281,7 @@ class FaultTolerantRuntime:
         telemetry: TelemetrySession | None = None,
         drift_schedule: Sequence[LatencyDrift] = (),
         verifier: DataPathVerifier | None = None,
+        feeder=None,
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
@@ -287,6 +306,16 @@ class FaultTolerantRuntime:
         # Functional cross-check of the simulated plan against real data;
         # opt-in and read-only with respect to the iteration numbers.
         self.verifier = verifier
+        # Optional streaming ingest: a multi-use PipelinedFeeder (or any
+        # re-iterable of batches). One batch is pulled per iteration;
+        # exhaustion wraps around into a fresh epoch, which leans directly
+        # on the feeder's fixed multi-use lifecycle. The feeder is runtime
+        # machinery, not run state: it is deliberately absent from
+        # state_dict(), and resumed runs just reattach one.
+        self.feeder = feeder
+        self._feed_iter = None
+        self.batches_ingested = 0
+        self.ingest_epochs = 0
         self.drift_schedule = list(drift_schedule)
         self._calibrated = False
         # Drift of the live distribution relative to the *active* plan's
@@ -373,11 +402,12 @@ class FaultTolerantRuntime:
             run_fields["fault_schedule"] = [e.to_dict() for e in schedule]
         self._journal("run", **run_fields)
         for i in range(start_iteration, start_iteration + num_iterations):
+            batch = self._next_batch() if self.feeder is not None else None
             before_membership = len(self._membership_log)
             record, faults, transitions = self.run_iteration(i)
             if self.verifier is not None and self.verifier.should_run(i):
                 try:
-                    self.verifier.verify(self.plan, self.plan_epoch, i)
+                    self.verifier.verify(self.plan, self.plan_epoch, i, batch=batch)
                 finally:
                     # verify() appends to history before a strict-mode raise,
                     # so the journal records the divergence either way.
@@ -412,6 +442,31 @@ class FaultTolerantRuntime:
                     drift_events=len(self.telemetry.drift_events),
                 )
         return report
+
+    def _next_batch(self) -> Batch:
+        """Pull one batch from the attached feeder, wrapping at epoch end.
+
+        Exhaustion re-iterates the feeder (a fresh lease with a fresh
+        pool); a feeder that yields nothing at all on a fresh iteration is
+        a configuration error, not an infinite loop.
+        """
+        if self._feed_iter is None:
+            self._feed_iter = iter(self.feeder)
+            self.ingest_epochs += 1
+        try:
+            batch = next(self._feed_iter)
+        except StopIteration:
+            self._feed_iter = iter(self.feeder)
+            self.ingest_epochs += 1
+            try:
+                batch = next(self._feed_iter)
+            except StopIteration:
+                raise RuntimeError(
+                    "ingest feeder produced no batches on a fresh iteration; "
+                    "the source is empty"
+                ) from None
+        self.batches_ingested += 1
+        return batch
 
     def run_iteration(
         self, iteration: int
@@ -994,6 +1049,7 @@ class FaultTolerantRuntime:
         telemetry: TelemetrySession | None = None,
         drift_schedule: Sequence[LatencyDrift] | None = None,
         verifier: DataPathVerifier | None = None,
+        feeder=None,
     ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
         """Rebuild a runtime from a checkpoint :class:`Snapshot`.
 
@@ -1041,6 +1097,7 @@ class FaultTolerantRuntime:
             telemetry=telemetry,
             drift_schedule=drift_schedule,
             verifier=verifier,
+            feeder=feeder,
         )
         runtime.plan_epoch = int(state.get("plan_epoch", 0))
         runtime._scale = float(state.get("scale", 1.0))

@@ -114,3 +114,32 @@ class TestArrivalCurve:
             ArrivalCurve(shape="square")
         with pytest.raises(ValueError, match="amplitude"):
             ArrivalCurve(shape="diurnal", amplitude=1.0)
+
+
+class TestDelaySchedule:
+    def test_steady_curve_is_constant(self):
+        assert ArrivalCurve().delay_schedule(4, 0.01) == (0.01,) * 4
+
+    def test_burst_compresses_delays_inside_window(self):
+        curve = ArrivalCurve(shape="bursty", amplitude=0.5, burst_at=2, burst_length=2)
+        delays = curve.delay_schedule(6, 0.03)
+        assert len(delays) == 6
+        # Inside the burst intensity is 1.5x, so inter-batch gaps shrink.
+        assert delays[2] == pytest.approx(0.03 / 1.5)
+        assert delays[3] == pytest.approx(0.03 / 1.5)
+        assert delays[0] == delays[5] == pytest.approx(0.03)
+
+    def test_feeds_a_paced_source(self):
+        from repro.ingest import PacedSource, source
+
+        curve = ArrivalCurve(shape="bursty", amplitude=0.5, burst_at=1, burst_length=1)
+        inner = source("synthetic://kaggle?batch=16&batches=3")
+        paced = PacedSource(inner, curve.delay_schedule(3, 0.02))
+        assert paced.delay_s(1) < paced.delay_s(0)
+        assert paced.batch(2).size == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_batches"):
+            ArrivalCurve().delay_schedule(0, 0.01)
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrivalCurve().delay_schedule(3, -0.5)

@@ -1,0 +1,63 @@
+"""Source-spec grammar: parsing, typed params, and error quality."""
+
+import pytest
+
+from repro.ingest import IngestError, parse_spec, split_specs
+
+
+def test_parses_scheme_target_params():
+    spec = parse_spec("csv:///data/day0.csv?batch=512&shard=3/8")
+    assert spec.scheme == "csv"
+    assert spec.target == "/data/day0.csv"
+    assert spec.int_param("batch") == 512
+    assert spec.shard_param() == (3, 8)
+
+
+def test_relative_target_keeps_netloc_and_path():
+    spec = parse_spec("jsonl://rel/path/rows.jsonl?batch=64")
+    assert spec.target == "rel/path/rows.jsonl"
+
+
+def test_scheme_is_case_insensitive():
+    assert parse_spec("CSV:///x.csv").scheme == "csv"
+
+
+def test_typed_params_defaults_and_errors():
+    spec = parse_spec("synthetic://kaggle?batch=64&speed=1.5&pace=yes")
+    assert spec.int_param("missing", 7) == 7
+    assert spec.float_param("speed") == 1.5
+    assert spec.bool_param("pace") is True
+    assert spec.shard_param() == (0, 1)
+    with pytest.raises(IngestError, match="not an integer"):
+        parse_spec("csv:///x?batch=abc").int_param("batch")
+    with pytest.raises(IngestError, match="not a number"):
+        parse_spec("csv:///x?speed=fast").float_param("speed")
+    with pytest.raises(IngestError, match="not a boolean"):
+        parse_spec("csv:///x?pace=perhaps").bool_param("pace")
+
+
+@pytest.mark.parametrize("bad", ["3", "3/", "/8", "8/3", "-1/4", "a/b"])
+def test_shard_param_rejects_malformed(bad):
+    with pytest.raises(IngestError):
+        parse_spec(f"csv:///x?shard={bad}").shard_param()
+
+
+def test_rejects_empty_missing_scheme_and_duplicates():
+    with pytest.raises(IngestError, match="empty"):
+        parse_spec("  ")
+    with pytest.raises(IngestError, match="scheme"):
+        parse_spec("/just/a/path")
+    with pytest.raises(IngestError, match="duplicate"):
+        parse_spec("csv:///x?batch=1&batch=2")
+
+
+def test_unknown_params_are_rejected_with_known_list():
+    spec = parse_spec("csv:///x?bacth=512")
+    with pytest.raises(IngestError, match="bacth.*known"):
+        spec.require_known({"batch", "shard"})
+
+
+def test_split_specs():
+    assert split_specs("a://x, b://y") == ["a://x", "b://y"]
+    with pytest.raises(IngestError, match="empty spec"):
+        split_specs("a://x,,b://y")

@@ -12,6 +12,9 @@ from repro.preprocessing.data import (
     SparseColumn,
     SyntheticCriteoDataset,
     TERABYTE_SCHEMA,
+    concat_csr_blocks,
+    offsets_from_lengths,
+    rowwise_concat_csr,
 )
 
 
@@ -193,3 +196,69 @@ class TestSyntheticCriteoDataset:
         assert b.size == n
         for col in b.sparse.values():
             assert col.offsets[-1] == col.nnz
+
+
+class TestCsrHelperDtypesAndOutBuffers:
+    """Satellites: dtype preservation across CSR helpers + out validation."""
+
+    def _cols(self, dtype):
+        a_off = np.array([0, 2, 3], dtype=np.int64)
+        a_val = np.array([1, 2, 3], dtype=dtype)
+        b_off = np.array([0, 1, 3], dtype=np.int64)
+        b_val = np.array([7, 8, 9], dtype=dtype)
+        return [a_off, b_off], [a_val, b_val]
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.uint16, np.float32])
+    def test_both_helpers_preserve_values_dtype(self, dtype):
+        offsets_list, values_list = self._cols(dtype)
+        _, block_vals = concat_csr_blocks(offsets_list, values_list)
+        _, row_vals = rowwise_concat_csr(offsets_list, values_list)
+        # The fix: rowwise_concat_csr hardcoded int64; both helpers must
+        # agree on the promoted input dtype.
+        assert block_vals.dtype == np.dtype(dtype)
+        assert row_vals.dtype == np.dtype(dtype)
+
+    def test_helpers_promote_mixed_dtypes_identically(self):
+        offsets_list, values_list = self._cols(np.int32)
+        values_list[1] = values_list[1].astype(np.int64)
+        _, block_vals = concat_csr_blocks(offsets_list, values_list)
+        _, row_vals = rowwise_concat_csr(offsets_list, values_list)
+        assert block_vals.dtype == row_vals.dtype == np.int64
+
+    def test_rowwise_values_correct_with_narrow_dtype(self):
+        offsets_list, values_list = self._cols(np.int32)
+        offsets, values = rowwise_concat_csr(offsets_list, values_list)
+        np.testing.assert_array_equal(offsets, [0, 3, 6])
+        np.testing.assert_array_equal(values, [1, 2, 7, 3, 8, 9])
+
+    def test_offsets_from_lengths_out_validation(self):
+        lengths = np.array([2, 1, 3], dtype=np.int64)
+        good = np.empty(4, dtype=np.int64)
+        result = offsets_from_lengths(lengths, out=good)
+        assert result is good
+        np.testing.assert_array_equal(result, [0, 2, 3, 6])
+        with pytest.raises(ValueError, match="need len\\(lengths\\) \\+ 1 = 4"):
+            offsets_from_lengths(lengths, out=np.empty(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="integer dtype"):
+            offsets_from_lengths(lengths, out=np.empty(4, dtype=np.float64))
+
+    def test_concat_csr_blocks_out_validation(self):
+        offsets_list, values_list = self._cols(np.int64)
+        with pytest.raises(ValueError, match="out_offsets has 3 entries, need"):
+            concat_csr_blocks(offsets_list, values_list, out_offsets=np.empty(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="out_offsets must be an integer dtype"):
+            concat_csr_blocks(offsets_list, values_list, out_offsets=np.empty(5, dtype=np.float32))
+        with pytest.raises(ValueError, match="out_values has 2 entries, need total_nnz = 6"):
+            concat_csr_blocks(offsets_list, values_list, out_values=np.empty(2, dtype=np.int64))
+
+    def test_concat_csr_blocks_rejects_lossy_out_values(self):
+        offsets_list, values_list = self._cols(np.int64)
+        with pytest.raises(ValueError, match="cannot safely hold"):
+            concat_csr_blocks(offsets_list, values_list, out_values=np.empty(6, dtype=np.int16))
+
+    def test_concat_csr_blocks_widening_out_values_allowed(self):
+        offsets_list, values_list = self._cols(np.int32)
+        out_values = np.empty(6, dtype=np.int64)
+        _, got = concat_csr_blocks(offsets_list, values_list, out_values=out_values)
+        assert got is out_values
+        np.testing.assert_array_equal(got, [1, 2, 3, 7, 8, 9])

@@ -57,9 +57,25 @@ def test_batches_identical_to_direct_synthesis(mode):
 def test_clean_shutdown_no_leaked_workers():
     feeder = PipelinedFeeder(_identity, num_batches=5, workers=2)
     assert list(feeder) == list(range(5))
-    assert feeder.closed
+    # Exhausting an iteration releases its lease (no leaked workers) but
+    # leaves the feeder itself open for the next epoch.
+    assert not feeder.closed
     for t in _feeder_threads():
         t.join(timeout=5.0)
+    assert not _feeder_threads()
+    feeder.close()
+    assert feeder.closed
+
+
+def test_reiteration_uses_a_fresh_pool():
+    # Regression: the old __iter__ closed the feeder in its finally, so a
+    # second iteration raised bare "RuntimeError: feeder is closed".
+    feeder = PipelinedFeeder(_identity, num_batches=4, workers=2)
+    assert list(feeder) == list(range(4))
+    assert list(feeder) == list(range(4))
+    with feeder:
+        assert list(feeder) == list(range(4))
+    assert feeder.closed
     assert not _feeder_threads()
 
 

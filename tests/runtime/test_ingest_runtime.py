@@ -1,0 +1,104 @@
+"""Streaming-ingest integration with the fault-tolerant runtime.
+
+The feeder is runtime machinery, not run state: it never enters
+``state_dict()``, and a resumed process reattaches a fresh one. These
+tests pin the epoch-wraparound path (the old single-use feeder raised
+on the second epoch), the verifier running on *real* ingested batches,
+and the empty-source guard.
+"""
+
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.ingest import PipelinedFeeder, source
+from repro.preprocessing import build_plan
+from repro.runtime import DataPathVerifier, FaultTolerantRuntime
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graphs, schema = build_plan(1, rows=128)
+    workload = TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=128)
+    return graphs, schema, workload
+
+
+def _feeder(batches: int, batch: int = 128) -> PipelinedFeeder:
+    return PipelinedFeeder(source(f"synthetic://kaggle?batch={batch}&batches={batches}"))
+
+
+def test_runtime_wraps_source_epochs(setting):
+    graphs, _, workload = setting
+    feeder = _feeder(3)
+    runtime = FaultTolerantRuntime(RapPlanner(workload), graphs, feeder=feeder)
+    runtime.run(7)  # 3-batch source: epochs 0-2, 3-5, 6
+    feeder.close()
+    assert runtime.batches_ingested == 7
+    assert runtime.ingest_epochs == 3
+
+
+def test_verifier_checks_real_ingested_batches(setting):
+    graphs, schema, workload = setting
+    feeder = _feeder(4)
+    verifier = DataPathVerifier(schema, every=2, seed=3)
+    runtime = FaultTolerantRuntime(
+        RapPlanner(workload), graphs, verifier=verifier, feeder=feeder
+    )
+    runtime.run(5)
+    feeder.close()
+    assert [v.iteration for v in verifier.history] == [0, 2, 4]
+    assert all(v.ok for v in verifier.history)
+
+
+def test_verifier_rejects_mismatched_batch_rows(setting):
+    graphs, schema, workload = setting
+    feeder = _feeder(2, batch=64)  # plan lowered for 128-row batches
+    verifier = DataPathVerifier(schema, every=1)
+    runtime = FaultTolerantRuntime(
+        RapPlanner(workload), graphs, verifier=verifier, feeder=feeder
+    )
+    with pytest.raises(ValueError, match="64 rows .* 128"):
+        runtime.run(2)
+    feeder.close()
+
+
+def test_empty_source_is_a_clear_error(setting):
+    graphs, _, workload = setting
+    feeder = PipelinedFeeder(lambda i: i, num_batches=0)
+    runtime = FaultTolerantRuntime(RapPlanner(workload), graphs, feeder=feeder)
+    with pytest.raises(RuntimeError, match="no batches"):
+        runtime.run(1)
+    feeder.close()
+
+
+def test_feeder_stays_out_of_state_dict(setting):
+    graphs, _, workload = setting
+    feeder = _feeder(3)
+    runtime = FaultTolerantRuntime(RapPlanner(workload), graphs, feeder=feeder)
+    runtime.run(2)
+    state = runtime.state_dict()
+    feeder.close()
+    assert "feeder" not in state
+    assert "ingest" not in repr(sorted(state))
+
+
+def test_restore_reattaches_a_fresh_feeder(setting, tmp_path):
+    from repro.runtime import CheckpointManager
+
+    graphs, _, workload = setting
+    feeder = _feeder(3)
+    runtime = FaultTolerantRuntime(RapPlanner(workload), graphs, feeder=feeder)
+    report = runtime.run(2)
+    manager = CheckpointManager(str(tmp_path))
+    runtime.save_checkpoint(manager, report, next_iteration=2)
+    feeder.close()
+
+    fresh = _feeder(3)
+    restored, report2, next_it = FaultTolerantRuntime.restore(
+        manager.latest(), graphs, workload, RapPlanner, feeder=fresh
+    )
+    assert restored.feeder is fresh
+    assert restored.batches_ingested == 0  # counters are per-process
+    restored.run(2, start_iteration=next_it, report=report2)
+    fresh.close()
+    assert restored.batches_ingested == 2  # iterations 2 and 3

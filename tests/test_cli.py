@@ -407,3 +407,70 @@ class TestTelemetryFlags:
         assert main(base) == 0
         out = capsys.readouterr().out
         assert "1 hit(s) (1 disk-tier)" in out
+
+
+class TestIngestCli:
+    BASE = ["run", "--plan", "0", "--gpus", "2", "--batch", "128",
+            "--iterations", "4"]
+
+    def _csv(self, tmp_path):
+        from repro.ingest import source, write_csv
+
+        src = source("synthetic://kaggle?batch=128&batches=2&seed=11")
+        path = tmp_path / "day0.csv"
+        write_csv(str(path), [src.batch(i) for i in range(2)])
+        return path
+
+    def test_run_with_synthetic_source_prints_ingest_summary(self, capsys):
+        assert main([*self.BASE, "--source",
+                     "synthetic://kaggle?batch=128&batches=3"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming ingest" in out
+        assert "batches ingested : 4" in out
+        assert "source epochs" in out
+
+    def test_run_with_csv_source_wraps_epochs_and_verifies(self, tmp_path, capsys):
+        # 4 iterations over a 2-batch file: the feeder must re-iterate
+        # (the old single-use bug) and the verifier sees real CSV batches.
+        path = self._csv(tmp_path)
+        assert main([*self.BASE, "--source", f"csv://{path}?batch=128",
+                     "--verify-data", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming ingest" in out
+        assert "source epochs    : 2" in out
+        assert "verification" in out
+
+    def test_backpressure_metrics_exported(self, tmp_path, capsys):
+        from repro.telemetry import parse_prometheus_text
+
+        metrics = tmp_path / "metrics"
+        assert main([*self.BASE, "--source",
+                     "synthetic://kaggle?batch=128&batches=4",
+                     "--overload-policy", "drop_oldest",
+                     "--queue-capacity", "2",
+                     "--metrics-dir", str(metrics)]) == 0
+        parsed = parse_prometheus_text((metrics / "metrics.prom").read_text())
+        for family in ("rap_ingest_batches_total", "rap_ingest_queue_depth",
+                       "rap_ingest_queue_wait_seconds",
+                       "rap_ingest_producer_stall_ratio"):
+            assert family in parsed, family
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--overload-policy", "block"),
+        ("--queue-capacity", "4"),
+        ("--ingest-workers", "2"),
+        ("--ingest-depth", "3"),
+    ])
+    def test_ingest_flags_require_source(self, capsys, flag, value):
+        assert main([*self.BASE, flag, value]) == 2
+        assert f"{flag} requires --source" in capsys.readouterr().err
+
+    def test_source_batch_must_match_run_batch_when_verifying(self, capsys):
+        assert main([*self.BASE, "--source", "synthetic://kaggle?batch=64&batches=3",
+                     "--verify-data", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "64" in err and "128" in err
+
+    def test_bad_source_spec_is_one_line_error(self, capsys):
+        assert main([*self.BASE, "--source", "carrier-pigeon://x"]) == 2
+        assert "unknown source scheme" in capsys.readouterr().err
