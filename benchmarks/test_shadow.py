@@ -1,0 +1,170 @@
+"""Shadow-promotion benchmarks: guarded promotion vs blind drift-replan.
+
+Two pinned properties land in ``BENCH_shadow.json`` at the repo root:
+
+1. Under oscillating per-op drift -- the regime where an edge-triggered
+   drift->replan flaps -- the guarded shadow loop beats the blind
+   baseline on cumulative exposed preprocessing latency while replanning
+   an order of magnitude less often.
+2. A deliberately miscalibrated candidate -- promoted on a predicted win
+   that a second drift immediately invalidates -- is rolled back to the
+   anchor checkpoint within the probation window, never later.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import RapPlanner
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.ioutil import atomic_write_json
+from repro.preprocessing import build_plan
+from repro.runtime import (
+    CheckpointManager,
+    FaultTolerantRuntime,
+    RunJournal,
+    ShadowConfig,
+    ShadowPlanner,
+)
+from repro.telemetry import LatencyDrift, TelemetrySession
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_shadow.json"
+
+NUM_GPUS = 4
+BATCH = 2048
+
+#: Blind-vs-guarded cumulative exposed latency: the guarded loop must
+#: win by at least this ratio under oscillating drift.
+MIN_GUARDED_EXPOSED_WIN = 1.05
+#: ...while replanning at most this fraction as often as the blind loop.
+MAX_GUARDED_REPLAN_FRACTION = 0.5
+
+#: Oscillating drift: SigridHash 20x in alternating two-iteration
+#: windows. The blind loop replans on every edge (drift onset AND the
+#: overshoot when the learned correction outlives the drift); the
+#: guarded loop's margin + hysteresis + cooldown absorb the flapping.
+OSCILLATING = [
+    LatencyDrift("SigridHash", 20.0, start_iteration=s, end_iteration=e)
+    for s, e in ((2, 4), (6, 8), (10, 12), (14, 16), (18, 20))
+]
+OSCILLATING_ITERS = 20
+
+#: Miscalibration chaos: the first drift produces a genuinely winning
+#: candidate; the second lands mid-probation and invalidates the
+#: prediction it was promoted on.
+CHAOS = [
+    LatencyDrift("SigridHash", 20.0, start_iteration=2),
+    LatencyDrift("MapId", 20.0, start_iteration=6),
+]
+CHAOS_ITERS = 14
+
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_bench_json():
+    """Publish every recorded measurement to BENCH_shadow.json."""
+    yield
+    payload = {
+        "benchmark": "shadow",
+        "numpy": np.__version__,
+        "bars": {
+            "guarded_exposed_win": MIN_GUARDED_EXPOSED_WIN,
+            "guarded_replan_fraction": MAX_GUARDED_REPLAN_FRACTION,
+            "rollback_within_probation_iters": ShadowConfig().probation_iters,
+        },
+        "results": RESULTS,
+    }
+    atomic_write_json(BENCH_PATH, payload)
+
+
+def run_scenario(schedule, iterations, shadow=None, run_dir=None):
+    graphs, schema = build_plan(2, rows=BATCH)
+    workload = TrainingWorkload(
+        model_for_plan(graphs, schema), num_gpus=NUM_GPUS, local_batch=BATCH
+    )
+    journal = RunJournal(run_dir / "journal.jsonl") if run_dir else None
+    runtime = FaultTolerantRuntime(
+        RapPlanner(workload),
+        graphs,
+        telemetry=TelemetrySession(),
+        drift_schedule=list(schedule),
+        shadow=shadow,
+        journal=journal,
+    )
+    kwargs = {}
+    if run_dir is not None:
+        kwargs = {"checkpoints": CheckpointManager(run_dir), "checkpoint_every": 5}
+    report = runtime.run(iterations, **kwargs)
+    return report, runtime
+
+
+def test_bench_guarded_promotion_beats_blind_replan(run_once):
+    """Figure: exposed latency + replan churn, blind vs guarded."""
+    blind_report, _ = run_scenario(OSCILLATING, OSCILLATING_ITERS)
+    guarded_report, guarded = run_once(
+        lambda: run_scenario(
+            OSCILLATING, OSCILLATING_ITERS, shadow=ShadowPlanner()
+        )
+    )
+
+    def exposed(report):
+        return float(sum(r.exposed_us for r in report.iterations))
+
+    def replans(report):
+        return sum(1 for r in report.iterations if r.replanned)
+
+    blind_exposed, blind_replans = exposed(blind_report), replans(blind_report)
+    guarded_exposed, guarded_replans = exposed(guarded_report), replans(guarded_report)
+    win = blind_exposed / guarded_exposed
+
+    RESULTS["oscillating_drift"] = {
+        "iterations": OSCILLATING_ITERS,
+        "blind_exposed_us": round(blind_exposed, 1),
+        "guarded_exposed_us": round(guarded_exposed, 1),
+        "exposed_win": round(win, 3),
+        "blind_replans": blind_replans,
+        "guarded_replans": guarded_replans,
+        "guarded_counters": guarded.shadow.counters(),
+    }
+
+    assert win >= MIN_GUARDED_EXPOSED_WIN, (
+        f"guarded exposed win {win:.3f} below bar {MIN_GUARDED_EXPOSED_WIN}"
+    )
+    assert guarded_replans <= MAX_GUARDED_REPLAN_FRACTION * blind_replans, (
+        f"guarded loop replanned {guarded_replans}x vs blind {blind_replans}x"
+    )
+
+
+def test_bench_miscalibrated_candidate_rolled_back_in_probation(tmp_path, run_once):
+    """Figure: rollback latency of a promotion whose prediction went stale."""
+    shadow = ShadowPlanner()
+    _, runtime = run_once(
+        lambda: run_scenario(CHAOS, CHAOS_ITERS, shadow=shadow, run_dir=tmp_path)
+    )
+
+    records = RunJournal.read(tmp_path / "journal.jsonl")
+    promotions = [r for r in records if r["type"] == "promotion"]
+    results = [r for r in records if r["type"] == "promotion_result"]
+    assert len(promotions) == 1 and len(results) == 1
+    outcome = results[0]
+
+    probation_len = outcome["iteration"] - promotions[0]["iteration"]
+    RESULTS["miscalibrated_rollback"] = {
+        "iterations": CHAOS_ITERS,
+        "promotion_iteration": promotions[0]["iteration"],
+        "predicted_win": promotions[0]["predicted_win"],
+        "rollback_iteration": outcome["iteration"],
+        "realized_win": outcome["realized_win"],
+        "probation_len": probation_len,
+        "counters": runtime.shadow.counters(),
+    }
+
+    assert outcome["outcome"] == "rolled_back"
+    assert outcome["realized_win"] < 0 < promotions[0]["predicted_win"]
+    assert probation_len <= ShadowConfig().probation_iters, (
+        f"rollback took {probation_len} iterations, past the "
+        f"{ShadowConfig().probation_iters}-iteration probation window"
+    )

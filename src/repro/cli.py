@@ -9,7 +9,12 @@ plan
 run
     Execute a plan through the fault-tolerant runtime for N iterations,
     optionally injecting deterministic faults, and print the resilience
-    report (recovery ladder, retries, replans).
+    report (recovery ladder, retries, replans). ``--shadow`` attaches
+    the guarded shadow-promotion loop (DESIGN.md §15).
+journal
+    Pretty-print and validate a run journal: the control-plane event
+    timeline, promotion/rollback transactions, and crash signatures
+    (torn tail vs mid-file corruption).
 sweep
     Expand N forge seeds into audited adversarial scenarios, execute each
     through planner + runtime with crash isolation, and publish the gated
@@ -27,6 +32,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from collections import Counter
 from pathlib import Path
 
 from .baselines import (
@@ -65,7 +71,10 @@ from .runtime import (
     FaultSpec,
     FaultTolerantRuntime,
     RunJournal,
+    ShadowConfig,
+    ShadowPlanner,
     SimulatedKill,
+    validate_records,
 )
 from .telemetry import LatencyDrift, TelemetrySession
 
@@ -332,7 +341,7 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def _check_resume_compat(snapshot, specs, args, drift_schedule=()) -> None:
+def _check_resume_compat(snapshot, specs, args, drift_schedule=(), shadow=None) -> None:
     """Refuse to resume under a configuration the checkpoint was not cut for.
 
     Resumption is only bit-identical when the seed, injection schedule, and
@@ -372,6 +381,59 @@ def _check_resume_compat(snapshot, specs, args, drift_schedule=()) -> None:
             f"--resume: checkpoint fleet ({wl['num_gpus']} GPUs after {shrinks} "
             f"loss(es)) is inconsistent with the requested {requested} GPU(s)"
         )
+    # Shadow promotion changes the replan trajectory, so resuming with a
+    # different shadow configuration than the checkpoint's would diverge.
+    saved_shadow = state.get("shadow")
+    if saved_shadow is not None and shadow is None:
+        raise ValueError(
+            "--resume: checkpoint was cut with shadow planning enabled; pass --shadow"
+        )
+    if saved_shadow is None and shadow is not None:
+        raise ValueError(
+            "--resume: checkpoint was cut without shadow planning; drop --shadow"
+        )
+    if saved_shadow is not None and saved_shadow.get("config") != shadow.config.to_dict():
+        raise ValueError(
+            "--resume: shadow guardrail configuration differs from the checkpointed run"
+        )
+
+
+def _make_shadow(args) -> ShadowPlanner | None:
+    """Build the shadow promotion loop from ``--shadow`` (DESIGN.md §15)."""
+    shadow_flags = ("promote_margin", "probation_iters", "rollback_threshold")
+    if not args.shadow:
+        set_flags = [f for f in shadow_flags if getattr(args, f) is not None]
+        if set_flags:
+            raise ValueError(f"--{set_flags[0].replace('_', '-')} requires --shadow")
+        return None
+    overrides = {
+        flag: getattr(args, flag)
+        for flag in shadow_flags
+        if getattr(args, flag) is not None
+    }
+    config = ShadowConfig(**{**ShadowConfig().to_dict(), **overrides})
+    return ShadowPlanner(config=config)
+
+
+def _print_shadow_summary(runtime) -> None:
+    shadow = runtime.shadow
+    if shadow is None:
+        return
+    counters = shadow.counters()
+    lines = {
+        "candidates evaluated": counters["candidates_evaluated"],
+        "promotions": counters["promotions"],
+        "commits / rollbacks / aborts": f"{counters['commits']} / "
+        f"{counters['rollbacks']} / {counters['aborts']}",
+        "suppressed triggers": counters["suppressed_triggers"],
+        "state": "in probation" if shadow.in_probation else "idle",
+    }
+    if shadow.last_predicted_win is not None:
+        lines["last predicted win"] = f"{shadow.last_predicted_win:.1%}"
+    if shadow.last_realized_win is not None:
+        lines["last realized win"] = f"{shadow.last_realized_win:.1%}"
+    print()
+    print(format_kv(lines, title="Shadow promotion"))
 
 
 def _make_feeder(args, telemetry) -> tuple[PipelinedFeeder | None, IngestMetrics | None]:
@@ -441,6 +503,7 @@ def cmd_run(args) -> int:
     specs = [_parse_inject(s) for s in args.inject or []]
     drift_schedule = [_parse_drift(s) for s in args.drift or []]
     telemetry = _make_telemetry(args)
+    shadow = _make_shadow(args)
     feeder, ingest_metrics = _make_feeder(args, telemetry)
     verifier = (
         DataPathVerifier(schema, every=args.verify_data, seed=args.seed)
@@ -463,7 +526,7 @@ def cmd_run(args) -> int:
                 raise ValueError(
                     f"--resume: no valid checkpoint under {args.checkpoint_dir}"
                 )
-            _check_resume_compat(snapshot, specs, args, drift_schedule)
+            _check_resume_compat(snapshot, specs, args, drift_schedule, shadow)
             runtime, report, start = FaultTolerantRuntime.restore(
                 snapshot,
                 graphs,
@@ -475,6 +538,7 @@ def cmd_run(args) -> int:
                 drift_schedule=drift_schedule or None,
                 verifier=verifier,
                 feeder=feeder,
+                shadow=shadow,
             )
             if start >= args.iterations:
                 raise ValueError(
@@ -495,6 +559,7 @@ def cmd_run(args) -> int:
                 drift_schedule=drift_schedule,
                 verifier=verifier,
                 feeder=feeder,
+                shadow=shadow,
             )
         _bind_cache_metrics(runtime.planner, telemetry)
         print(
@@ -532,6 +597,7 @@ def cmd_run(args) -> int:
             journal.close()
     print()
     print(report.summary())
+    _print_shadow_summary(runtime)
     _print_ingest_summary(runtime, ingest_metrics)
     # The data-path block reports measured wall-clock, so it only appears
     # when the engine or verification was explicitly requested; the
@@ -555,6 +621,108 @@ def cmd_run(args) -> int:
             print(f"\ntelemetry artifacts -> {args.metrics_dir}")
     _print_telemetry_summary(telemetry)
     return 0
+
+
+#: Per-iteration noise records the journal timeline hides unless --all.
+_JOURNAL_NOISE = ("transition", "data_verify")
+
+
+def _journal_event_line(record: dict) -> str:
+    record_type = record["type"]
+    iteration = record.get("iteration")
+    prefix = f"iter {iteration:>4}" if iteration is not None else " " * 9
+    detail = ""
+    if record_type == "run":
+        detail = f"{record.get('num_iterations', '?')} iteration(s)"
+    elif record_type == "resume":
+        detail = f"from {record.get('checkpoint', '?')}"
+    elif record_type in ("replan", "recalibrate"):
+        detail = f"reason {record.get('reason', '?')}, epoch {record.get('plan_epoch', '?')}"
+    elif record_type == "shadow_eval":
+        verdict = "promote" if record.get("promote") else "decline"
+        detail = (
+            f"{verdict}: win {record.get('predicted_win', 0):+.1%} "
+            f"(required {record.get('required_win', 0):.1%}, "
+            f"trigger {record.get('reason', '?')})"
+        )
+    elif record_type == "promotion":
+        detail = (
+            f"epoch {record.get('from_epoch', '?')} -> {record.get('plan_epoch', '?')}, "
+            f"predicted win {record.get('predicted_win', 0):+.1%}, "
+            f"anchor {record.get('anchor') or 'in-memory'}"
+        )
+    elif record_type == "promotion_result":
+        outcome = record.get("outcome", "?")
+        realized = record.get("realized_win")
+        detail = f"{outcome} after {record.get('probation_len', '?')} iteration(s)"
+        if realized is not None:
+            detail += f", realized win {realized:+.1%}"
+    elif record_type == "membership":
+        detail = (
+            f"lost GPU {record.get('lost_gpu', '?')}, "
+            f"{record.get('survivors', '?')} survivor(s)"
+        )
+    elif record_type == "checkpoint":
+        detail = str(record.get("path", ""))
+    elif record_type == "kill":
+        detail = "simulated crash"
+    return f"{prefix}  {record_type:<17} {detail}".rstrip()
+
+
+def cmd_journal(args) -> int:
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "journal.jsonl"
+    if not path.exists():
+        raise ValueError(f"no journal at {path}")
+    records, flaws = RunJournal.scan(path)
+    errors, warnings = validate_records(records)
+
+    counts = Counter(r.get("type", "?") for r in records)
+    print(
+        format_table(
+            ["record type", "count"],
+            [[name, counts[name]] for name in sorted(counts)],
+            title=f"Journal {path} ({len(records)} records)",
+        )
+    )
+
+    timeline = [
+        r for r in records
+        if args.all or r.get("type") not in _JOURNAL_NOISE
+    ]
+    if timeline:
+        print()
+        hidden = len(records) - len(timeline)
+        title = "Control-plane timeline"
+        if hidden:
+            title += f" ({hidden} per-iteration record(s) hidden; --all shows them)"
+        print(title)
+        for record in timeline:
+            print("  " + _journal_event_line(record))
+
+    status = 0
+    for flaw in flaws:
+        if flaw.kind == "torn_tail":
+            print(
+                f"\nnote: torn tail at line {flaw.line} (crash mid-append; "
+                f"expected after a kill): {flaw.snippet!r}"
+            )
+        else:
+            print(
+                f"rap-repro: journal: corrupt record at line {flaw.line}: "
+                f"{flaw.snippet!r}",
+                file=sys.stderr,
+            )
+            status = 2
+    for warning in warnings:
+        print(f"\nwarning: {warning}")
+    for error in errors:
+        print(f"rap-repro: journal: {error}", file=sys.stderr)
+        status = 2
+    if status == 0:
+        print("\njournal OK")
+    return status
 
 
 def cmd_sweep(args) -> int:
@@ -687,6 +855,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="every N iterations, execute a real synthetic batch "
                             "through the compiled engine and cross-check "
                             "bit-identity against the naive executor (0 = off)")
+    p_run.add_argument("--shadow", action="store_true",
+                       help="attach the shadow promotion loop: continuously search "
+                            "candidate plans against calibrated costs, promote only "
+                            "when the predicted exposed-latency win clears the "
+                            "guardrail, and auto-rollback a promotion whose realized "
+                            "throughput regresses during probation (DESIGN.md §15)")
+    p_run.add_argument("--promote-margin", type=float, default=None, metavar="FRAC",
+                       help="minimum predicted exposed-latency win to promote a "
+                            "shadow candidate (default 0.10); requires --shadow")
+    p_run.add_argument("--probation-iters", type=int, default=None, metavar="N",
+                       help="iterations a promoted plan is monitored before "
+                            "committing (default 5); requires --shadow")
+    p_run.add_argument("--rollback-threshold", type=float, default=None, metavar="FRAC",
+                       help="tolerated realized iteration-latency regression during "
+                            "probation before automatic rollback (default 0.10); "
+                            "requires --shadow")
     p_run.add_argument("--no-telemetry", action="store_true",
                        help="disable metrics, tracing, and online calibration; the "
                             "run is bit-identical to one without the subsystem")
@@ -712,6 +896,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "requires --source")
     _add_fast_path_args(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_journal = sub.add_parser(
+        "journal",
+        help="pretty-print and validate a run journal",
+    )
+    p_journal.add_argument("path",
+                           help="journal file, or a --checkpoint-dir containing "
+                                "journal.jsonl")
+    p_journal.add_argument("--all", action="store_true",
+                           help="include per-iteration ladder/verification records "
+                                "in the timeline")
+    p_journal.set_defaults(fn=cmd_journal)
 
     p_sweep = sub.add_parser(
         "sweep",

@@ -399,5 +399,49 @@ class RapPlanner:
         timeline = self.interleaver.steady_state(result.iteration_time_us, prep)
         return RapRunReport(plan=plan, cluster_result=result, timeline=timeline)
 
+    def evaluate_scaled(
+        self,
+        plan: RapPlan,
+        scale: float = 1.0,
+        drift_factors: dict[str, float] | None = None,
+        policy: CoRunPolicy = RAP_POLICY,
+    ) -> RapRunReport:
+        """Shadow-mode evaluation: simulate ``plan`` under a drifted regime.
+
+        Replays the plan with every placed kernel's duration multiplied by
+        ``scale`` (uniform input drift) and additionally by its op type's
+        ``drift_factors`` entry -- the same composition the runtime applies
+        to the live plan -- without mutating the plan or recording
+        calibration samples. With ``scale == 1`` and no factors this is
+        exactly :meth:`evaluate`. The shadow promotion loop (DESIGN.md §15)
+        uses this to score the live plan and a candidate like-for-like over
+        a replayed window of recent iteration conditions.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        factors = drift_factors or {}
+
+        def drifted(kernel: KernelDesc) -> KernelDesc:
+            factor = scale * factors.get(kernel.tag, 1.0)
+            if factor == 1.0:
+                return kernel
+            return kernel.with_duration(kernel.duration_us * factor)
+
+        assignments = [
+            {stage: [drifted(k) for k in kernels] for stage, kernels in per_gpu.items()}
+            for per_gpu in plan.assignments_per_gpu
+        ]
+        trailing = [[drifted(k) for k in kernels] for kernels in plan.trailing_per_gpu]
+        result = self.workload.simulate(
+            assignments_per_gpu=assignments,
+            trailing_per_gpu=trailing,
+            input_comm_bytes=plan.input_comm_bytes,
+            input_comm_transfers=max(1, plan.input_comm_transfers),
+            policy=policy,
+        )
+        prep = max(plan.data_prep_per_gpu, key=lambda p: p.total_us, default=DataPreparation(0, 0, 0))
+        timeline = self.interleaver.steady_state(result.iteration_time_us, prep)
+        return RapRunReport(plan=plan, cluster_result=result, timeline=timeline)
+
     def plan_and_evaluate(self, graph_set: GraphSet) -> RapRunReport:
         return self.evaluate(self.plan(graph_set))

@@ -12,7 +12,11 @@ On top of the ladder sit the whole-run robustness mechanisms: elastic GPU
 membership (``gpu_lost`` terminal faults shrink the fleet, re-shard the
 embeddings, and warm-replan down to one GPU and finally CPU-only),
 iteration-consistent checkpoints with manifest-sealed atomic artifacts,
-and an append-only crash-safe run journal.
+and an append-only crash-safe run journal. The shadow planner
+(:mod:`repro.runtime.shadow`) continuously searches candidate plans
+against live calibrated costs and promotes one only when a guarded
+replay-window comparison clears its margin, with probation monitoring
+and automatic rollback to a pinned anchor checkpoint.
 """
 
 from .checkpoint import (
@@ -51,7 +55,7 @@ from .faults import (
     FaultInjector,
     FaultSpec,
 )
-from .journal import RunJournal
+from .journal import JournalFlaw, RunJournal, validate_records
 from .ladder import (
     CO_RUN,
     CPU_FALLBACK,
@@ -64,6 +68,16 @@ from .ladder import (
 )
 from .report import IterationRecord, ResilienceReport
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .shadow import (
+    PROBATION_ABORTED,
+    PROBATION_COMMITTED,
+    PROBATION_OUTCOMES,
+    PROBATION_ROLLED_BACK,
+    CandidateVerdict,
+    ShadowConfig,
+    ShadowObservation,
+    ShadowPlanner,
+)
 from .watchdog import LatencyWatchdog, WatchdogDecision
 
 __all__ = [
@@ -85,6 +99,16 @@ __all__ = [
     "Snapshot",
     "CHECKPOINT_FORMAT_VERSION",
     "RunJournal",
+    "JournalFlaw",
+    "validate_records",
+    "ShadowConfig",
+    "ShadowObservation",
+    "ShadowPlanner",
+    "CandidateVerdict",
+    "PROBATION_COMMITTED",
+    "PROBATION_ROLLED_BACK",
+    "PROBATION_ABORTED",
+    "PROBATION_OUTCOMES",
     "FaultSpec",
     "FaultEvent",
     "FaultInjector",

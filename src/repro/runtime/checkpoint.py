@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +35,12 @@ _STATE_FILE = "state.json"
 _PLAN_FILE = "plan.json"
 _REPORT_FILE = "report.json"
 _MANIFEST_FILE = "MANIFEST.json"
+
+#: Untagged (cadence) checkpoint directory names; tagged checkpoints
+#: (e.g. ``ckpt-00000007-anchor`` rollback anchors) carry a suffix and
+#: are deliberately excluded from :meth:`CheckpointManager.latest`.
+_PLAIN_CKPT_RE = re.compile(r"ckpt-\d+")
+_TAG_RE = re.compile(r"[A-Za-z0-9_.-]+")
 
 
 class CheckpointError(ValueError):
@@ -70,12 +77,39 @@ class CheckpointManager:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
+        # Pinned directory names survive pruning unconditionally. Pins are
+        # in-memory by design: the pinning feature (the shadow loop's
+        # rollback anchor) re-pins on restore/run start, so a crashed
+        # process cannot leak a pin that protects garbage forever.
+        self._pinned: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Pinning
+
+    @property
+    def pinned(self) -> frozenset:
+        return frozenset(self._pinned)
+
+    def pin(self, directory: str | Path) -> None:
+        """Protect one checkpoint directory from pruning until unpinned.
+
+        The shadow promotion loop pins the rollback anchor of an open
+        probation so cadence checkpoints can never prune the state a
+        rollback would restore.
+        """
+        self._pinned.add(Path(directory).name)
+
+    def unpin(self, directory: str | Path) -> None:
+        self._pinned.discard(Path(directory).name)
 
     # ------------------------------------------------------------------
     # Saving
 
-    def _ckpt_dir(self, iteration: int) -> Path:
-        return self.directory / f"ckpt-{iteration:08d}"
+    def _ckpt_dir(self, iteration: int, tag: str | None = None) -> Path:
+        name = f"ckpt-{iteration:08d}"
+        if tag:
+            name += f"-{tag}"
+        return self.directory / name
 
     def save(
         self,
@@ -83,14 +117,23 @@ class CheckpointManager:
         state: dict,
         plan_text: str,
         report: dict,
+        tag: str | None = None,
     ) -> Path:
         """Write one checkpoint for resumption at ``next_iteration``.
 
         Member files land atomically first; the manifest seals the
         directory last, so a crash at any point leaves either a complete
         checkpoint or an unsealed directory that loading ignores.
+
+        ``tag`` suffixes the directory name (``ckpt-NNNNNNNN-TAG``);
+        tagged checkpoints never collide with the same iteration's
+        cadence checkpoint and are skipped by :meth:`latest` -- a
+        rollback *anchor* records pre-swap state to roll back to, not a
+        resume point (resuming from it would fork the timeline).
         """
-        ckpt = self._ckpt_dir(next_iteration)
+        if tag is not None and not _TAG_RE.fullmatch(tag):
+            raise ValueError(f"bad checkpoint tag {tag!r}")
+        ckpt = self._ckpt_dir(next_iteration, tag)
         ckpt.mkdir(parents=True, exist_ok=True)
         state = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
@@ -121,7 +164,8 @@ class CheckpointManager:
             d for d in self.directory.glob("ckpt-*")
             if d.is_dir() and (d / _MANIFEST_FILE).exists()
         )
-        for stale in complete[: -self.keep]:
+        deletable = [d for d in complete if d.name not in self._pinned]
+        for stale in deletable[: -self.keep]:
             shutil.rmtree(stale, ignore_errors=True)
 
     # ------------------------------------------------------------------
@@ -171,12 +215,23 @@ class CheckpointManager:
         )
 
     def latest(self) -> Snapshot | None:
-        """The newest *valid* checkpoint, or ``None``.
+        """The newest *valid* cadence checkpoint, or ``None``.
 
         Invalid directories (unsealed, tampered, torn) are skipped, so a
         crash during save falls back to the previous complete checkpoint.
+        Tagged checkpoints (rollback anchors) are never resume targets:
+        an anchor captures *pre-promotion* state whose only purpose is
+        being rolled back to; resuming from it would silently diverge
+        from the killed run's actual trajectory.
         """
-        candidates = sorted((d for d in self.directory.glob("ckpt-*") if d.is_dir()), reverse=True)
+        candidates = sorted(
+            (
+                d
+                for d in self.directory.glob("ckpt-*")
+                if d.is_dir() and _PLAIN_CKPT_RE.fullmatch(d.name)
+            ),
+            reverse=True,
+        )
         for candidate in candidates:
             try:
                 return self.load(candidate)

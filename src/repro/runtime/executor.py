@@ -77,6 +77,13 @@ from .ladder import (
 )
 from .report import IterationRecord, ResilienceReport
 from .retry import RetryPolicy
+from .shadow import (
+    PROBATION_ABORTED,
+    PROBATION_COMMITTED,
+    PROBATION_ROLLED_BACK,
+    ShadowObservation,
+    ShadowPlanner,
+)
 from .watchdog import LatencyWatchdog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -282,6 +289,7 @@ class FaultTolerantRuntime:
         drift_schedule: Sequence[LatencyDrift] = (),
         verifier: DataPathVerifier | None = None,
         feeder=None,
+        shadow: ShadowPlanner | None = None,
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
@@ -316,6 +324,13 @@ class FaultTolerantRuntime:
         self._feed_iter = None
         self.batches_ingested = 0
         self.ingest_epochs = 0
+        # Shadow planning (DESIGN.md §15): with a ShadowPlanner attached,
+        # drift/watchdog triggers route into the guarded promotion loop
+        # instead of replanning blind; with ``shadow=None`` every code
+        # path below is untouched and execution is bit-identical to a
+        # build without the subsystem.
+        self.shadow = shadow
+        self._checkpoints: "CheckpointManager | None" = None
         self.drift_schedule = list(drift_schedule)
         self._calibrated = False
         # Drift of the live distribution relative to the *active* plan's
@@ -401,6 +416,14 @@ class FaultTolerantRuntime:
             # out of the journal -- their schedule is not a FaultEvent list.
             run_fields["fault_schedule"] = [e.to_dict() for e in schedule]
         self._journal("run", **run_fields)
+        self._checkpoints = checkpoints
+        if self.shadow is not None and checkpoints is not None and self.shadow.in_probation:
+            # Pins are in-memory; a process resumed mid-probation must
+            # re-assert the anchor's pin before the first cadence
+            # checkpoint can prune it.
+            anchor = self.shadow.anchor
+            if anchor and anchor.get("directory"):
+                checkpoints.pin(anchor["directory"])
         for i in range(start_iteration, start_iteration + num_iterations):
             batch = self._next_batch() if self.feeder is not None else None
             before_membership = len(self._membership_log)
@@ -415,6 +438,8 @@ class FaultTolerantRuntime:
                         self._journal(
                             "data_verify", **self.verifier.history[-1].to_dict()
                         )
+            if self.shadow is not None and not self._cpu_only:
+                record = self._shadow_step(i, record, report)
             report.iterations.append(record)
             report.faults.extend(faults)
             report.transitions.extend(transitions)
@@ -534,7 +559,15 @@ class FaultTolerantRuntime:
             decision = self.watchdog.observe(
                 self.plan.predicted_exposed_us, report.exposed_preprocessing_us, 0
             )
-            if drift_event is not None:
+            if self.shadow is not None:
+                # Guarded mode: both replan triggers feed the shadow loop,
+                # which evaluates a candidate at this iteration's shadow
+                # step instead of swapping plans blind.
+                if drift_event is not None:
+                    self.shadow.note_trigger(iteration, "drift")
+                elif decision.replan:
+                    self.shadow.note_trigger(iteration, "watchdog")
+            elif drift_event is not None:
                 self._recalibrate_and_replan(iteration, drift_event)
                 record = IterationRecord(**{**record.to_dict(), "replanned": True})
             elif decision.replan:
@@ -657,7 +690,14 @@ class FaultTolerantRuntime:
             self.plan.predicted_exposed_us, exposed_us, len(faults)
         )
         replanned = False
-        if drift_event is not None:
+        if self.shadow is not None:
+            # Guarded mode: route triggers into the shadow loop (see the
+            # transparent path above for rationale).
+            if drift_event is not None:
+                self.shadow.note_trigger(iteration, "drift")
+            elif decision.replan:
+                self.shadow.note_trigger(iteration, "watchdog")
+        elif drift_event is not None:
             # Sustained model error beats the exposure watchdog: a plain
             # replan would reuse the stale predictions, so recalibrate
             # first and replan once with the corrected model.
@@ -831,6 +871,240 @@ class FaultTolerantRuntime:
         self._replan(iteration, reason="drift")
 
     # ------------------------------------------------------------------
+    # Shadow planning: guarded promotion, probation, automatic rollback
+    # ------------------------------------------------------------------
+
+    def _shadow_step(
+        self, iteration: int, record: IterationRecord, report: ResilienceReport
+    ) -> IterationRecord:
+        """One tick of the shadow control loop, after the live iteration.
+
+        Feeds the iteration's conditions and outcome into the replay
+        window, drives the probation monitor (rollback / commit), and --
+        when the pacing asks for it -- searches and scores a candidate,
+        promoting transactionally if the guardrail clears. Returns the
+        iteration record, re-marked ``replanned`` when a swap happened.
+        """
+        obs = ShadowObservation(
+            iteration=iteration,
+            plan_epoch=self.plan_epoch,
+            scale=self._scale,
+            drift_factors=drift_factors_at(self.drift_schedule, iteration),
+            exposed_us=float(record.exposed_us),
+            iteration_us=float(record.iteration_us),
+        )
+        action = self.shadow.observe(obs)
+        if action == PROBATION_ROLLED_BACK:
+            self._shadow_rollback(iteration)
+            return IterationRecord(**{**record.to_dict(), "replanned": True})
+        if action == PROBATION_COMMITTED:
+            self._shadow_commit(iteration)
+            return record
+        if self.shadow.wants_candidate(iteration, self.plan_epoch):
+            if self._shadow_evaluate(iteration, report):
+                return IterationRecord(**{**record.to_dict(), "replanned": True})
+        return record
+
+    def _shadow_evaluate(self, iteration: int, report: ResilienceReport) -> bool:
+        """Search a candidate, score it over the window, maybe promote.
+
+        The candidate is searched by a planner clone (shared plan/MILP
+        caches) priced with the *current* calibrated costs -- continuous
+        calibration, not waiting for the drift edge -- then both the live
+        plan and the candidate are re-simulated under each recorded
+        window entry's exact conditions (uniform scale + per-op drift).
+        Returns True when a promotion happened.
+        """
+        entries = self.shadow.window_for_epoch(self.plan_epoch)
+        reason = self.shadow.pending_trigger or "cadence"
+        live = self._live_graph_set()
+        shadow_planner = clone_planner(self.planner, self.workload)
+        if self.telemetry is not None:
+            shadow_planner.set_predictor(
+                self.telemetry.calibrated_predictor(self.planner.cost_model.predictor)
+            )
+        candidate = shadow_planner.replan(live, previous=self.plan)
+        base_exposed: list[float] = []
+        cand_exposed: list[float] = []
+        cand_iter: list[float] = []
+        for entry in entries:
+            base = self.planner.evaluate_scaled(
+                self.plan, scale=entry.scale, drift_factors=entry.drift_factors
+            )
+            # The candidate was searched at today's total drift; an older
+            # entry's conditions reach it as the *relative* scale between
+            # that entry's distribution and the current one.
+            relative = entry.scale / self._scale
+            cand = shadow_planner.evaluate_scaled(
+                candidate, scale=relative, drift_factors=entry.drift_factors
+            )
+            base_exposed.append(float(base.exposed_preprocessing_us))
+            cand_exposed.append(float(cand.exposed_preprocessing_us))
+            cand_iter.append(float(cand.iteration_us))
+        baseline_us = sum(base_exposed) / len(base_exposed)
+        candidate_us = sum(cand_exposed) / len(cand_exposed)
+        verdict = self.shadow.judge(iteration, baseline_us, candidate_us, reason)
+        self._journal("shadow_eval", **verdict.to_dict())
+        if self.telemetry is not None:
+            self.telemetry.note_shadow_candidate(verdict.predicted_win, verdict.promote)
+        if not verdict.promote:
+            return False
+
+        # -- transactional promotion -----------------------------------
+        # 1. Seal the rollback anchor (pre-swap state) and pin it so no
+        #    cadence checkpoint can prune it while probation is open. The
+        #    full anchor payload also rides in shadow state, so rollback
+        #    works even without a checkpoint manager attached.
+        plan_text = plan_to_json(self.plan)
+        anchor = {
+            "iteration": iteration,
+            "plan_epoch": self.plan_epoch,
+            "plan": plan_text,
+            "scale": self._scale,
+            "total_scale": self._total_scale,
+            "cpu_kernels": [kernel_to_dict(k) for k in self._cpu_kernels],
+            "directory": None,
+        }
+        if self._checkpoints is not None:
+            path = self._checkpoints.save(
+                iteration + 1, self.state_dict(), plan_text, report.to_dict(),
+                tag="anchor",
+            )
+            self._checkpoints.pin(path)
+            anchor["directory"] = path.name
+        from_epoch = self.plan_epoch
+        baseline_iter_us = sum(e.iteration_us for e in entries) / len(entries)
+        predicted_exposed_us = candidate_us
+        predicted_iter_us = sum(cand_iter) / len(cand_iter)
+        # 2. Journal the promotion *before* the swap: a crash between the
+        #    two leaves an open promotion the resumed run re-journals
+        #    deterministically.
+        self._journal(
+            "promotion",
+            iteration=iteration,
+            reason=verdict.reason,
+            plan_epoch=from_epoch + 1,
+            from_epoch=from_epoch,
+            predicted_win=round(verdict.predicted_win, 6),
+            required_win=round(verdict.required_win, 6),
+            baseline_exposed_us=round(baseline_us, 3),
+            candidate_exposed_us=round(candidate_us, 3),
+            anchor=anchor["directory"],
+        )
+        # 3. Swap, mirroring _replan's bookkeeping plus the calibrated
+        #    predictor hand-off of _recalibrate_and_replan.
+        self.plan = candidate
+        self._scale = 1.0
+        self._cpu_kernels.clear()
+        self.plan_epoch += 1
+        self._epoch_retry_used = 0
+        if self.telemetry is not None:
+            self.planner.set_predictor(shadow_planner.cost_model.predictor)
+            self._calibrated = True
+            self.telemetry.publish_corrections()
+            self.telemetry.drift_detector.reset()
+            self.telemetry.note_replan(iteration, "promotion", self.plan_epoch)
+        # 4. Enter probation with the watchdog suppressed: the probation
+        #    monitor owns the only rollback trigger until it settles.
+        self.watchdog.reset()
+        self.watchdog.suppress()
+        self.shadow.begin_probation(
+            iteration,
+            verdict,
+            predicted_exposed_us=predicted_exposed_us,
+            predicted_iteration_us=predicted_iter_us,
+            baseline_iteration_us=baseline_iter_us,
+            from_epoch=from_epoch,
+            to_epoch=self.plan_epoch,
+            anchor=anchor,
+        )
+        return True
+
+    def _shadow_rollback(self, iteration: int) -> None:
+        """Probation breached: restore the anchor state transactionally."""
+        summary = self.shadow.finish_probation(PROBATION_ROLLED_BACK, iteration)
+        anchor = summary["anchor"]
+        plan_text = anchor["plan"]
+        if anchor.get("directory") and self._checkpoints is not None:
+            from .checkpoint import CheckpointError
+
+            try:
+                snapshot = self._checkpoints.load(
+                    self._checkpoints.directory / anchor["directory"]
+                )
+                plan_text = snapshot.plan_text
+            except CheckpointError:
+                pass  # fall back to the in-memory copy (identical bytes)
+        self.plan = plan_from_json(plan_text, self.workload, self.graph_set)
+        anchor_total = float(anchor.get("total_scale", 1.0)) or 1.0
+        # Drift that arrived *during* probation composes onto the anchor's
+        # relative scale, so the restored plan sees today's distribution.
+        self._scale = float(anchor.get("scale", 1.0)) * (self._total_scale / anchor_total)
+        self._cpu_kernels = [kernel_from_dict(k) for k in anchor.get("cpu_kernels", [])]
+        # The epoch stays monotone -- a rollback is a new plan generation,
+        # never a rewind -- which keeps journal validation simple.
+        self.plan_epoch += 1
+        self._epoch_retry_used = 0
+        self.watchdog.reset()
+        self.watchdog.unsuppress()
+        if self.telemetry is not None:
+            self.telemetry.note_replan(iteration, "rollback", self.plan_epoch)
+            self.telemetry.note_shadow_probation(
+                PROBATION_ROLLED_BACK,
+                summary.get("realized_win"),
+                summary.get("predicted_win"),
+            )
+        self._journal_promotion_result(summary)
+        self._unpin_anchor(anchor)
+
+    def _shadow_commit(self, iteration: int) -> None:
+        """Probation survived: the promotion becomes the plan of record."""
+        summary = self.shadow.finish_probation(PROBATION_COMMITTED, iteration)
+        self.watchdog.reset()
+        self.watchdog.unsuppress()
+        if self.telemetry is not None:
+            self.telemetry.note_shadow_probation(
+                PROBATION_COMMITTED,
+                summary.get("realized_win"),
+                summary.get("predicted_win"),
+            )
+        self._journal_promotion_result(summary)
+        self._unpin_anchor(summary["anchor"])
+
+    def _shadow_abort(self, iteration: int, reason: str) -> None:
+        """Void an open probation without restoring the anchor.
+
+        Used when a membership change invalidates the comparison: the
+        anchor plan was searched for a fleet that no longer exists, so
+        neither keeping probation open nor rolling back is meaningful.
+        """
+        summary = self.shadow.finish_probation(PROBATION_ABORTED, iteration)
+        summary["abort_reason"] = reason
+        self.watchdog.unsuppress()
+        if self.telemetry is not None:
+            self.telemetry.note_shadow_probation(
+                PROBATION_ABORTED,
+                summary.get("realized_win"),
+                summary.get("predicted_win"),
+            )
+        self._journal_promotion_result(summary)
+        self._unpin_anchor(summary["anchor"])
+
+    def _journal_promotion_result(self, summary: dict) -> None:
+        fields = {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in summary.items()
+            if key != "anchor"
+        }
+        fields["anchor"] = summary["anchor"].get("directory")
+        fields["plan_epoch"] = self.plan_epoch
+        self._journal("promotion_result", **fields)
+
+    def _unpin_anchor(self, anchor: dict) -> None:
+        if anchor.get("directory") and self._checkpoints is not None:
+            self._checkpoints.unpin(anchor["directory"])
+
+    # ------------------------------------------------------------------
     # Elastic membership
     # ------------------------------------------------------------------
 
@@ -853,6 +1127,10 @@ class FaultTolerantRuntime:
         gpu = event.gpu
         if not 0 <= gpu < num_gpus:
             return []  # stale event against an already-shrunk fleet
+        if self.shadow is not None and self.shadow.in_probation:
+            # A membership change voids the probation baseline: the anchor
+            # plan was searched for a fleet that no longer exists.
+            self._shadow_abort(iteration, "membership change")
         original = self._original_ids[gpu]
         spec = self.workload.spec
 
@@ -1014,6 +1292,8 @@ class FaultTolerantRuntime:
                 "telemetry": self.telemetry.state_dict(),
                 "calibrated": self._calibrated,
             }
+        if self.shadow is not None:
+            state["shadow"] = self.shadow.state_dict()
         return state
 
     def save_checkpoint(
@@ -1050,6 +1330,7 @@ class FaultTolerantRuntime:
         drift_schedule: Sequence[LatencyDrift] | None = None,
         verifier: DataPathVerifier | None = None,
         feeder=None,
+        shadow: ShadowPlanner | None = None,
     ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
         """Rebuild a runtime from a checkpoint :class:`Snapshot`.
 
@@ -1098,7 +1379,10 @@ class FaultTolerantRuntime:
             drift_schedule=drift_schedule,
             verifier=verifier,
             feeder=feeder,
+            shadow=shadow,
         )
+        if shadow is not None:
+            shadow.load_state(state.get("shadow", {}))
         runtime.plan_epoch = int(state.get("plan_epoch", 0))
         runtime._scale = float(state.get("scale", 1.0))
         runtime._total_scale = float(state.get("total_scale", 1.0))

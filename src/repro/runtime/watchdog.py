@@ -47,6 +47,7 @@ class LatencyWatchdog:
     _errors: deque = field(default_factory=deque, repr=False)
     _faults: deque = field(default_factory=deque, repr=False)
     _armed: bool = field(default=True, repr=False)
+    _suppressed: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.error_threshold <= 0:
@@ -86,7 +87,7 @@ class LatencyWatchdog:
                 f"fault rate {fault_rate:.2f}/iter > {self.fault_rate_threshold:.2f}"
             )
         breached = bool(reasons)
-        fire = breached and self._armed
+        fire = breached and self._armed and not self._suppressed
         if fire:
             self._armed = False
         elif not breached:
@@ -105,18 +106,49 @@ class LatencyWatchdog:
         self._armed = True
 
     # ------------------------------------------------------------------
+    # Suppression (shadow-promotion probation, DESIGN.md §15)
+
+    @property
+    def suppressed(self) -> bool:
+        return self._suppressed
+
+    def suppress(self) -> None:
+        """Stop firing while still feeding the window.
+
+        The shadow promotion loop suppresses the watchdog during a
+        probation window so the exposure trigger cannot race the
+        probation monitor's own rollback decision; a breach while
+        suppressed does not consume the armed edge, so a *sustained*
+        breach still fires on the first observation after
+        :meth:`unsuppress`.
+        """
+        self._suppressed = True
+
+    def unsuppress(self) -> None:
+        """Resume firing (call when probation commits or rolls back)."""
+        self._suppressed = False
+
+    # ------------------------------------------------------------------
     # Checkpointing
 
     def state_dict(self) -> dict:
-        """The mutable window state (thresholds live in the constructor)."""
-        return {
+        """The mutable window state (thresholds live in the constructor).
+
+        ``suppressed`` rides in the snapshot only while set, keeping
+        legacy checkpoints byte-stable.
+        """
+        state = {
             "errors": list(self._errors),
             "faults": list(self._faults),
             "armed": self._armed,
         }
+        if self._suppressed:
+            state["suppressed"] = True
+        return state
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot into this watchdog."""
         self._errors = deque(float(e) for e in state.get("errors", ()))
         self._faults = deque(int(f) for f in state.get("faults", ()))
         self._armed = bool(state.get("armed", True))
+        self._suppressed = bool(state.get("suppressed", False))

@@ -134,6 +134,51 @@ class TelemetrySession:
         self.registry.gauge("rap_plan_epoch", help="Current plan epoch").set(plan_epoch)
         self.tracer.instant(f"replan ({reason})", "runtime", plan_epoch=plan_epoch)
 
+    def note_shadow_candidate(self, predicted_win: float, promoted: bool) -> None:
+        """Record one shadow candidate evaluation (DESIGN.md §15)."""
+        self.registry.counter(
+            "rap_shadow_candidates_total",
+            help="Shadow candidates evaluated against the replay window",
+        ).inc()
+        self.registry.gauge(
+            "rap_shadow_predicted_win",
+            help="Predicted exposed-latency win of the latest shadow candidate",
+        ).set(predicted_win)
+        if promoted:
+            self.registry.counter(
+                "rap_shadow_promotions_total",
+                help="Shadow candidates promoted to live plan",
+            ).inc()
+            self.tracer.instant(
+                "shadow promotion", "shadow", predicted_win=predicted_win
+            )
+
+    def note_shadow_probation(
+        self, outcome: str, realized_win: float | None, predicted_win: float | None
+    ) -> None:
+        """Record how one probation window ended (commit/rollback/abort)."""
+        self.registry.counter(
+            "rap_shadow_probation_outcomes_total",
+            help="Probation outcomes by kind",
+            labels={"outcome": outcome},
+        ).inc()
+        if outcome == "rolled_back":
+            self.registry.counter(
+                "rap_shadow_rollbacks_total",
+                help="Promotions rolled back to their anchor",
+            ).inc()
+        if realized_win is not None:
+            self.registry.gauge(
+                "rap_shadow_realized_win",
+                help="Realized iteration-latency win of the latest probation",
+            ).set(realized_win)
+        self.tracer.instant(
+            f"probation {outcome}",
+            "shadow",
+            realized_win=realized_win,
+            predicted_win=predicted_win,
+        )
+
     def publish_corrections(self) -> None:
         """Expose the current per-op-type corrections as gauges."""
         for op, correction in self.residual.corrections().items():

@@ -22,6 +22,7 @@ from repro.runtime import (
     ResilienceReport,
     RunJournal,
     SimulatedKill,
+    validate_records,
 )
 
 NUM_GPUS = 3
@@ -136,6 +137,157 @@ class TestCheckpointManager:
     def test_keep_must_be_positive(self, tmp_path):
         with pytest.raises(ValueError):
             CheckpointManager(tmp_path, keep=0)
+
+
+class TestJournalScanAndValidate:
+    def test_scan_reports_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type": "run"}\n{"type": "replan", "plan_ep')
+        records, flaws = RunJournal.scan(path)
+        assert len(records) == 1
+        assert len(flaws) == 1
+        assert flaws[0].kind == "torn_tail" and flaws[0].line == 2
+
+    def test_scan_flags_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type": "run"}\nnot json at all\n{"type": "checkpoint"}\n')
+        records, flaws = RunJournal.scan(path)
+        assert [r["type"] for r in records] == ["run", "checkpoint"]
+        assert len(flaws) == 1
+        assert flaws[0].kind == "corrupt" and flaws[0].line == 2
+
+    def test_scan_flags_non_object_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('[1, 2]\n{"type": "run"}\n')
+        records, flaws = RunJournal.scan(path)
+        assert len(records) == 1 and flaws[0].kind == "corrupt"
+
+    def test_validate_clean_promotion_pair(self):
+        records = [
+            {"type": "run"},
+            {"type": "promotion", "iteration": 4, "plan_epoch": 1},
+            {"type": "promotion_result", "iteration": 6, "plan_epoch": 2,
+             "outcome": "rolled_back"},
+        ]
+        errors, warnings = validate_records(records)
+        assert errors == [] and warnings == []
+
+    def test_validate_open_probation_is_warning(self):
+        records = [{"type": "run"}, {"type": "promotion", "plan_epoch": 1}]
+        errors, warnings = validate_records(records)
+        assert errors == []
+        assert any("open probation" in w for w in warnings)
+
+    def test_validate_rejects_nested_promotion(self):
+        records = [
+            {"type": "run"},
+            {"type": "promotion", "plan_epoch": 1},
+            {"type": "promotion", "plan_epoch": 2},
+        ]
+        errors, _ = validate_records(records)
+        assert any("still in probation" in e for e in errors)
+
+    def test_validate_rejects_orphan_result(self):
+        records = [
+            {"type": "run"},
+            {"type": "promotion_result", "outcome": "committed"},
+            {"type": "promotion_result", "outcome": "committed"},
+        ]
+        errors, _ = validate_records(records)
+        # A run boundary makes the first result legal (replayed tail);
+        # the second has provably no open promotion.
+        assert len(errors) == 1 and "without a matching" in errors[0]
+
+    def test_validate_rejects_unknown_outcome(self):
+        records = [
+            {"type": "run"},
+            {"type": "promotion", "plan_epoch": 1},
+            {"type": "promotion_result", "outcome": "exploded"},
+        ]
+        errors, _ = validate_records(records)
+        assert any("unknown probation outcome" in e for e in errors)
+
+    def test_validate_epoch_regression_needs_resume(self):
+        regressed = [
+            {"type": "run"},
+            {"type": "replan", "plan_epoch": 2},
+            {"type": "replan", "plan_epoch": 1},
+        ]
+        errors, _ = validate_records(regressed)
+        assert any("regressed" in e for e in errors)
+        replayed = [
+            {"type": "run"},
+            {"type": "replan", "plan_epoch": 2},
+            {"type": "resume"},
+            {"type": "replan", "plan_epoch": 1},
+        ]
+        errors, _ = validate_records(replayed)
+        assert errors == []
+
+
+class TestPinnedAnchors:
+    """Rollback anchors (DESIGN.md §15) must survive pruning and never be
+    mistaken for resume points."""
+
+    def test_pinned_checkpoint_survives_prune(self, tmp_path):
+        """Regression: an in-probation anchor outlives any number of cadence
+        checkpoints, however old it gets."""
+        manager = CheckpointManager(tmp_path, keep=2)
+        anchor = manager.save(2, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag="anchor")
+        manager.pin(anchor)
+        for step in (4, 6, 8, 10, 12):
+            manager.save(step, SAMPLE_STATE, "{}", SAMPLE_REPORT)
+        assert anchor.exists()
+        remaining = sorted(d.name for d in tmp_path.glob("ckpt-*"))
+        assert remaining == ["ckpt-00000002-anchor", "ckpt-00000010", "ckpt-00000012"]
+
+    def test_unpin_makes_checkpoint_prunable(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        anchor = manager.save(2, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag="anchor")
+        manager.pin(anchor)
+        manager.save(4, SAMPLE_STATE, "{}", SAMPLE_REPORT)
+        assert anchor.exists()
+        manager.unpin(anchor)
+        manager.save(6, SAMPLE_STATE, "{}", SAMPLE_REPORT)
+        assert not anchor.exists()
+
+    def test_pins_do_not_persist_across_managers(self, tmp_path):
+        """Pins are in-memory by design: a crashed process cannot leak a pin
+        that protects garbage forever. The shadow loop re-pins on restore."""
+        first = CheckpointManager(tmp_path, keep=1)
+        anchor = first.save(2, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag="anchor")
+        first.pin(anchor)
+        second = CheckpointManager(tmp_path, keep=1)
+        assert second.pinned == frozenset()
+
+    def test_latest_skips_tagged_anchors(self, tmp_path):
+        """An anchor records pre-promotion state to roll back to; resuming
+        from it would fork the timeline, so latest() must ignore it even
+        when it is the newest complete directory."""
+        manager = CheckpointManager(tmp_path)
+        manager.save(2, SAMPLE_STATE, "{}", SAMPLE_REPORT)
+        manager.save(9, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag="anchor")
+        snapshot = manager.latest()
+        assert snapshot is not None and snapshot.iteration == 2
+
+    def test_only_anchors_means_no_resume_point(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(3, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag="anchor")
+        assert manager.latest() is None
+
+    def test_anchor_does_not_collide_with_cadence_checkpoint(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        cadence = manager.save(5, SAMPLE_STATE, "{}", SAMPLE_REPORT)
+        anchor = manager.save(5, {"plan_epoch": 9}, "{}", SAMPLE_REPORT, tag="anchor")
+        assert cadence != anchor
+        assert manager.load(cadence).state["plan_epoch"] == SAMPLE_STATE["plan_epoch"]
+        assert manager.load(anchor).state["plan_epoch"] == 9
+
+    def test_bad_tag_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for tag in ("an chor", "a/b", "", "a\nb"):
+            with pytest.raises(ValueError):
+                manager.save(5, SAMPLE_STATE, "{}", SAMPLE_REPORT, tag=tag)
 
 
 class TestRunJournal:

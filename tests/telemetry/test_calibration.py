@@ -10,6 +10,7 @@ from repro.telemetry import (
     DriftDetector,
     LatencyDrift,
     ResidualModel,
+    TelemetrySession,
     drift_factors_at,
 )
 
@@ -276,3 +277,111 @@ class TestDriftDetector:
             DriftDetector(threshold=0.0)
         with pytest.raises(ValueError):
             DriftDetector(window=0)
+
+
+class TestDriftDetectorRearmEdges:
+    """Re-arm boundary behavior: the edge trigger must survive restarts
+    and refuse to re-fire until the signal genuinely recovers."""
+
+    def test_signal_exactly_at_threshold_rearms(self):
+        # Sustained breach requires strictly > threshold; a signal that
+        # lands exactly on the threshold both breaks the window and
+        # re-arms the trigger.
+        det = DriftDetector(threshold=0.25, window=2)
+        det.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(1, samples("Clamp", 2.0, n=4)) is not None
+        det.observe_iteration(2, samples("Clamp", 1.25, n=4))  # error == 0.25
+        det.observe_iteration(3, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(4, samples("Clamp", 2.0, n=4)) is not None
+
+    def test_empty_iteration_is_a_no_op(self):
+        # An iteration with no kernel samples must neither break the
+        # sustained window nor count toward it.
+        det = DriftDetector(threshold=0.25, window=2)
+        det.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(1, []) is None
+        assert det.observe_iteration(2, samples("Clamp", 2.0, n=4)) is not None
+
+    def test_rearm_needs_full_window_again(self):
+        # After recovery the detector is armed, but one fresh breach is a
+        # spike, not sustained drift: the full window must refill first.
+        det = DriftDetector(threshold=0.25, window=2)
+        det.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        assert det.observe_iteration(1, samples("Clamp", 2.0, n=4)) is not None
+        det.observe_iteration(2, samples("Clamp", 1.0, n=4))
+        assert det.observe_iteration(3, samples("Clamp", 2.0, n=4)) is None
+        assert det.observe_iteration(4, samples("Clamp", 2.0, n=4)) is not None
+
+    def test_restored_detector_does_not_refire(self):
+        # A checkpoint taken mid-breach (after the edge fired) must not
+        # spuriously re-trigger when the restored process keeps seeing
+        # the same drifted costs.
+        fired = DriftDetector(threshold=0.25, window=2)
+        fired.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        assert fired.observe_iteration(1, samples("Clamp", 2.0, n=4)) is not None
+
+        restored = DriftDetector(threshold=0.25, window=2)
+        restored.load_state(fired.state_dict())
+        assert restored.observe_iteration(2, samples("Clamp", 2.0, n=4)) is None
+        assert restored.observe_iteration(3, samples("Clamp", 2.0, n=4)) is None
+        # ...but a genuine recover-then-drift cycle still fires.
+        restored.observe_iteration(4, samples("Clamp", 1.0, n=4))
+        restored.observe_iteration(5, samples("Clamp", 2.0, n=4))
+        assert restored.observe_iteration(6, samples("Clamp", 2.0, n=4)) is not None
+
+    def test_restored_partial_window_still_counts(self):
+        # Breach history accumulated before the kill counts toward the
+        # sustained window after restore: restart must not grant the
+        # drifted plan a grace period.
+        before = DriftDetector(threshold=0.25, window=3)
+        before.observe_iteration(0, samples("Clamp", 2.0, n=4))
+        before.observe_iteration(1, samples("Clamp", 2.0, n=4))
+
+        after = DriftDetector(threshold=0.25, window=3)
+        after.load_state(before.state_dict())
+        assert after.observe_iteration(2, samples("Clamp", 2.0, n=4)) is not None
+
+
+class TestFingerprintRestoreStability:
+    """Fingerprints are plan-cache key inputs: a restored session must
+    produce bit-identical fingerprints or every resume misses the cache."""
+
+    def test_residual_fingerprint_survives_round_trip(self):
+        model = ResidualModel()
+        for s in samples("Clamp", 2.0, n=16) + samples("Logit", 1.3, n=16):
+            model.record(s)
+        restored = ResidualModel()
+        restored.load_state(model.state_dict())
+        assert restored.fingerprint() == model.fingerprint()
+
+    def test_fingerprint_is_content_addressed(self):
+        # Two independently-built models with the same samples agree:
+        # the fingerprint hashes corrections, not object identity.
+        a, b = ResidualModel(), ResidualModel()
+        for s in samples("Clamp", 1.7, n=16):
+            a.record(s)
+            b.record(s)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_calibrated_fingerprint_survives_session_restore(self):
+        session = TelemetrySession()
+        for s in samples("Clamp", 2.0, n=16):
+            session.record_kernel_sample(s)
+        session.check_drift(0)
+        before = session.calibrated_predictor(None).fingerprint()
+
+        restored = TelemetrySession()
+        restored.load_state(session.state_dict())
+        assert restored.calibrated_predictor(None).fingerprint() == before
+        assert restored.drift_detector.state_dict() == session.drift_detector.state_dict()
+
+    def test_fingerprint_tracks_new_samples_after_restore(self):
+        session = TelemetrySession()
+        for s in samples("Clamp", 2.0, n=16):
+            session.record_kernel_sample(s)
+        restored = TelemetrySession()
+        restored.load_state(session.state_dict())
+        before = restored.calibrated_predictor(None).fingerprint()
+        for s in samples("Clamp", 3.0, n=16, start_iter=16):
+            restored.record_kernel_sample(s)
+        assert restored.calibrated_predictor(None).fingerprint() != before

@@ -474,3 +474,44 @@ class TestIngestCli:
     def test_bad_source_spec_is_one_line_error(self, capsys):
         assert main([*self.BASE, "--source", "carrier-pigeon://x"]) == 2
         assert "unknown source scheme" in capsys.readouterr().err
+
+
+class TestShadowCli:
+    BASE = ["run", "--plan", "2", "--gpus", "4", "--batch", "2048",
+            "--iterations", "14",
+            "--drift", "SigridHash=20:2", "--drift", "MapId=20:6"]
+
+    def test_shadow_flags_require_shadow(self, capsys):
+        assert main(["run", "--plan", "0", "--gpus", "2", "--batch", "1024",
+                     "--iterations", "2", "--promote-margin", "0.2"]) == 2
+        assert "--promote-margin requires --shadow" in capsys.readouterr().err
+
+    def test_shadow_cycle_summary_and_journal(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main([*self.BASE, "--shadow", "--checkpoint-dir", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "Shadow promotion" in out
+        assert "candidates evaluated" in out
+
+        assert main(["journal", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "shadow_eval" in out
+        assert "epoch 0 -> 1" in out
+        assert "rolled_back" in out
+        assert "journal OK" in out
+
+    def test_journal_subcommand_exit_codes(self, tmp_path, capsys):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"type": "run"}\n{"type": "replan", "plan_ep')
+        assert main(["journal", str(torn)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail at line 2" in out
+
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text('{"type": "run"}\ngarbage\n{"type": "checkpoint"}\n')
+        assert main(["journal", str(corrupt)]) == 2
+        assert "corrupt record at line 2" in capsys.readouterr().err
+
+    def test_journal_missing_path_is_an_error(self, tmp_path, capsys):
+        assert main(["journal", str(tmp_path / "nope")]) == 2
+        assert "no journal at" in capsys.readouterr().err
