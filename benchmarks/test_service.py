@@ -1,0 +1,91 @@
+"""Service benchmarks: warm re-admission speed and fleet utilization.
+
+Two acceptance bars for the preprocessing service:
+
+- a returning tenant (identical workload, fresh service process) must
+  re-admit through the shared plan cache at least 5x faster than its
+  cold admission;
+- packing three concurrent tenants must place at least as much
+  preprocessing work on the fleet's GPUs as the single-tenant baseline.
+
+Numbers land in the pytest-benchmark JSON (``--benchmark-json``) for CI.
+"""
+
+from repro.service import PreprocessingService, TenantSpec
+
+#: The warm-over-cold bar for re-admission through the plan cache.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _admit_once(root, cache_dir, name="bench"):
+    service = PreprocessingService(
+        root, num_gpus=4, telemetry=False, cache_dir=cache_dir
+    )
+    service.submit(
+        TenantSpec(name=name, plan_id=2, local_batch=4096, num_iterations=1)
+    )
+    summary = service.run()
+    entry = summary.job(name)
+    return entry["admission_us"], entry["plan_source"]
+
+
+def test_bench_warm_readmission_speedup(benchmark, tmp_path):
+    """A returning tenant admits >= 5x faster than its cold admission."""
+    cache_dir = tmp_path / "cache"
+    cold_us, source = _admit_once(tmp_path / "cold", cache_dir)
+    assert source == "cold"
+
+    counter = iter(range(10_000))
+    results = []
+
+    def readmit():
+        outcome = _admit_once(tmp_path / f"warm{next(counter)}", cache_dir)
+        results.append(outcome)
+        return outcome
+
+    benchmark.pedantic(readmit, rounds=5, iterations=1)
+    assert all(source == "warm-exact" for _, source in results)
+    # Best-of-rounds: admission latency is the quantity under test, and
+    # the minimum is the scheduler-noise-robust estimate of it.
+    warm_us = min(us for us, _ in results)
+    speedup = cold_us / warm_us
+    benchmark.extra_info["cold_admission_us"] = cold_us
+    benchmark.extra_info["warm_admission_us"] = warm_us
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm re-admission only {speedup:.1f}x faster than cold "
+        f"({warm_us / 1e3:.2f} ms vs {cold_us / 1e3:.2f} ms)"
+    )
+
+
+def test_bench_fleet_utilization_three_tenants(run_once, tmp_path):
+    """Three concurrent tenants keep >= the single-tenant GPU workload."""
+    solo = PreprocessingService(tmp_path / "solo", num_gpus=2, telemetry=False)
+    solo.submit(TenantSpec(name="a", plan_id=2, local_batch=2048, num_iterations=4))
+    baseline = solo.run().fleet_gpu_kernel_us
+    assert baseline > 0
+
+    def packed():
+        service = PreprocessingService(
+            tmp_path / "packed", num_gpus=2, telemetry=False
+        )
+        service.submit(
+            TenantSpec(name="a", plan_id=2, local_batch=2048, num_iterations=4)
+        )
+        service.submit(
+            TenantSpec(name="b", plan_id=0, local_batch=1024, num_iterations=4,
+                       priority="best_effort")
+        )
+        service.submit(
+            TenantSpec(name="c", plan_id=1, local_batch=1024, num_iterations=4,
+                       priority="best_effort")
+        )
+        return service.run()
+
+    summary = run_once(packed)
+    assert all(e["state"] == "completed" for e in summary.jobs)
+    assert len(summary.jobs) == 3
+    assert summary.fleet_gpu_kernel_us >= baseline, (
+        f"3-tenant fleet places {summary.fleet_gpu_kernel_us:.0f}us of GPU "
+        f"work per iteration vs {baseline:.0f}us single-tenant"
+    )

@@ -23,6 +23,10 @@ compare
     Run RAP against all four baseline systems on one workload.
 experiments
     Regenerate every paper table and figure (``--quick`` for a smoke run).
+serve
+    Run the multi-tenant preprocessing service: admit every ``--tenants``
+    spec onto one simulated fleet, carve leftover capacity fair-share
+    between them, and print the per-tenant service summary.
 predictor
     Train the latency predictor offline and print Table-5 accuracy.
 """
@@ -30,6 +34,7 @@ predictor
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 import time
 from collections import Counter
@@ -76,6 +81,7 @@ from .runtime import (
     SimulatedKill,
     validate_records,
 )
+from .service import PreprocessingService, parse_tenant_specs
 from .telemetry import LatencyDrift, TelemetrySession
 
 __all__ = ["main", "build_parser"]
@@ -226,7 +232,8 @@ def _print_cache_stats(planner: RapPlanner) -> None:
         stats["solve cache"] = planner.solve_cache.stats.to_dict()
     lines = {
         name: f"{s['hits']} hit(s) ({s.get('disk_hits', 0)} disk-tier), "
-        f"{s['misses']} miss(es), {s['stores']} store(s)"
+        f"{s['misses']} miss(es), {s['stores']} store(s), "
+        f"{s.get('lock_contention', 0)} lock-contended"
         for name, s in stats.items()
     }
     print()
@@ -802,6 +809,50 @@ def cmd_predictor(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    specs = parse_tenant_specs(args.tenants)
+    service = PreprocessingService(
+        args.service_root,
+        num_gpus=args.gpus,
+        fair_share=args.fair_share,
+        max_concurrent=args.max_concurrent,
+        checkpoint_every=args.checkpoint_every,
+        telemetry=not args.no_telemetry,
+    )
+    for spec in specs:
+        service.submit(spec)
+    started = time.perf_counter()
+    summary = service.run()
+    elapsed = time.perf_counter() - started
+    states = Counter(entry["state"] for entry in summary.jobs)
+    print(
+        format_kv(
+            {
+                "tenants": ", ".join(s.name for s in specs),
+                "fleet": f"{args.gpus} GPUs, fair-share {'on' if args.fair_share else 'off'}",
+                "service ticks": summary.ticks,
+                "outcomes": ", ".join(f"{k}={v}" for k, v in sorted(states.items())),
+                "plan reuse": (
+                    f"{summary.reuse['hits']} invariant hit(s), "
+                    f"{summary.plan_cache['hits']} exact hit(s)"
+                ),
+                "wall time": f"{elapsed:.2f}s",
+            },
+            title="Preprocessing service",
+        )
+    )
+    print()
+    for line in summary.lines():
+        print(line)
+    print(f"\nservice root: {service.root}")
+    if args.save_summary:
+        Path(args.save_summary).write_text(
+            _json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"summary written to {args.save_summary}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="rap-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -941,6 +992,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate every table and figure")
     p_exp.add_argument("--quick", action="store_true")
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant preprocessing service on one fleet"
+    )
+    p_serve.add_argument(
+        "--tenants", required=True, metavar="SPEC[,SPEC...]",
+        help="tenant specs NAME[:key=val...] separated by commas; keys: plan, "
+             "batch, class (prod|standard|best_effort), deadline "
+             "(strict|relaxed|none), arrive, iters, seed, faults, kind, rename",
+    )
+    p_serve.add_argument("--gpus", type=int, default=2, help="fleet size (default 2)")
+    p_serve.add_argument(
+        "--fair-share", default=True, action=argparse.BooleanOptionalAction,
+        help="carve leftover capacity weighted max-min between tenants (default on)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="N",
+        help="cap on concurrently admitted tenants (default unbounded)",
+    )
+    p_serve.add_argument(
+        "--service-root", default="service_root", metavar="DIR",
+        help="root for per-tenant journals, metrics, checkpoints, and caches",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="per-tenant checkpoint cadence in iterations (default off)",
+    )
+    p_serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable per-tenant telemetry sessions",
+    )
+    p_serve.add_argument("--save-summary", metavar="FILE",
+                         help="write the service summary as JSON")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_pred = sub.add_parser("predictor", help="train the latency predictor (Table 5)")
     p_pred.add_argument("--samples", type=int, default=11_000)

@@ -28,13 +28,14 @@ is bit-identical to the cold search that produced it.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..dlrm.training import TrainingWorkload
 from ..ioutil import advisory_lock, atomic_write_text
-from ..preprocessing.graph import FeatureGraph, GraphSet
+from ..preprocessing.graph import DENSE_CONSUMER, FeatureGraph, GraphSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner -> here)
     from ..milp.branch_and_bound import BranchAndBoundSolver
@@ -49,6 +50,10 @@ __all__ = [
     "graph_set_fingerprint",
     "workload_fingerprint",
     "plan_cache_key",
+    "canonical_name_maps",
+    "invariant_graph_set_fingerprint",
+    "invariant_workload_fingerprint",
+    "invariant_plan_key",
 ]
 
 #: Version tag of the planning algorithm itself. Bump on any change to the
@@ -172,6 +177,164 @@ def plan_cache_key(
 
 
 # ----------------------------------------------------------------------
+# Tenant-invariant fingerprints
+#
+# Two tenants submitting *isomorphic* workloads -- same operator DAGs,
+# same batch shape, same placement topology, but tenant-prefixed graph,
+# column, and table names -- describe the same planning problem. The
+# helpers below canonically relabel every name by order of first
+# appearance (graphs by graph-set order, columns by op order within that,
+# embedding tables by consumer order; the replicated ``dense`` consumer is
+# structural and keeps its name), so isomorphic specs produce identical
+# fingerprints while anything that actually moves the search -- stage
+# capacities, knobs, the calibration fingerprint -- still invalidates.
+# ----------------------------------------------------------------------
+
+
+def canonical_name_maps(graph_set: GraphSet) -> tuple[dict, dict, dict]:
+    """Maps from real names to canonical names: (graphs, columns, consumers).
+
+    Deterministic in graph-set order: graph ``i`` becomes ``g<i>``, columns
+    become ``c<j>`` by first appearance walking each graph's ops in order
+    (inputs before output), embedding-table consumers become ``t<k>`` by
+    first appearance. ``DENSE_CONSUMER`` maps to itself -- whether a graph
+    feeds the replicated dense stack or a sharded table changes where its
+    output must land, so it is structure, not naming.
+    """
+    graph_map: dict[str, str] = {}
+    column_map: dict[str, str] = {}
+    consumer_map: dict[str, str] = {DENSE_CONSUMER: DENSE_CONSUMER}
+    tables = 0
+    for gi, graph in enumerate(graph_set):
+        graph_map[graph.name] = f"g{gi}"
+        if graph.consumer not in consumer_map:
+            consumer_map[graph.consumer] = f"t{tables}"
+            tables += 1
+        for op in graph.ops:
+            for col in op.inputs:
+                column_map.setdefault(col, f"c{len(column_map)}")
+            column_map.setdefault(op.output, f"c{len(column_map)}")
+    return graph_map, column_map, consumer_map
+
+
+def _invariant_graph_fingerprint(
+    graph: FeatureGraph, column_map: dict, consumer_map: dict
+) -> tuple:
+    return (
+        consumer_map[graph.consumer],
+        tuple(
+            (
+                op.op_name,
+                tuple(column_map[c] for c in op.inputs),
+                column_map[op.output],
+                op._params_key(),
+            )
+            for op in graph.ops
+        ),
+        float(graph.avg_list_length),
+    )
+
+
+def invariant_graph_set_fingerprint(graph_set: GraphSet) -> str:
+    """Like :func:`graph_set_fingerprint` but under canonical relabeling.
+
+    Graph identity is positional (graph ``i``'s fingerprint sits at slot
+    ``i``), so graph names drop out entirely.
+    """
+    _, column_map, consumer_map = canonical_name_maps(graph_set)
+    payload = (
+        graph_set.rows,
+        tuple(
+            _invariant_graph_fingerprint(g, column_map, consumer_map)
+            for g in graph_set
+        ),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def invariant_workload_fingerprint(
+    workload: TrainingWorkload, graph_set: GraphSet
+) -> str:
+    """Like :func:`workload_fingerprint` but with table names canonicalized.
+
+    The embedding placement's table names are the graph consumers, so the
+    same consumer map relabels them; the model config's *name* (a preset
+    label tenants are free to decorate) is dropped -- every capacity-moving
+    consequence of the config is already hashed through the stages.
+    """
+    _, _, consumer_map = canonical_name_maps(graph_set)
+    spec = workload.spec
+    placement = workload.placement
+    stages = tuple(
+        (gpu, s.name, s.duration_us, s.utilization.sm, s.utilization.dram)
+        for gpu in range(workload.num_gpus)
+        for s in workload.stages_for_gpu(gpu)
+    )
+    payload = (
+        workload.num_gpus,
+        workload.local_batch,
+        (
+            spec.name,
+            spec.num_sms,
+            spec.warps_per_sm,
+            spec.dram_bw_gbps,
+            spec.mem_gb,
+            spec.fp32_tflops,
+            spec.nvlink_bw_gbps,
+            spec.pcie_bw_gbps,
+            spec.kernel_launch_us,
+        ),
+        tuple(
+            sorted(
+                (consumer_map.get(t, t), gpu)
+                for t, gpu in placement.table_to_gpu.items()
+            )
+        ),
+        tuple(sorted(consumer_map.get(t, t) for t in placement.row_wise_tables)),
+        stages,
+    )
+    if getattr(workload, "specs", None) is not None:
+        payload = payload + (workload.fleet_profile,)
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def invariant_plan_key(
+    workload: TrainingWorkload,
+    graph_set: GraphSet,
+    mapping_strategy: str,
+    fusion_enabled: bool,
+    interleaving_enabled: bool,
+    exact_fusion: bool | None,
+    max_mapping_moves: int | None,
+    solver: "BranchAndBoundSolver",
+    code_version: str | None = None,
+    predictor_fingerprint: str | None = None,
+) -> str:
+    """The tenant-invariant content address of one planning request.
+
+    Mirrors :func:`plan_cache_key` with the invariant fingerprints swapped
+    in (plus a domain salt so the two key spaces can share one directory).
+    ``predictor_fingerprint`` stays in the key: a tenant whose calibration
+    has drifted prices kernels differently and must not inherit another
+    tenant's plan.
+    """
+    payload = (
+        "tenant-invariant",
+        code_version if code_version is not None else PLANNER_CODE_VERSION,
+        invariant_workload_fingerprint(workload, graph_set),
+        invariant_graph_set_fingerprint(graph_set),
+        mapping_strategy,
+        fusion_enabled,
+        interleaving_enabled,
+        exact_fusion,
+        max_mapping_moves,
+        (solver.node_limit, solver.time_limit_s, solver.integrality_tol, solver.gap_tol),
+        predictor_fingerprint,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # The cache
 # ----------------------------------------------------------------------
 
@@ -182,12 +345,16 @@ class PlanCacheStats:
 
     ``disk_hits`` counts the subset of ``hits`` served by the persistent
     tier (a fresh process starting warm) rather than process memory.
+    ``lock_contention`` counts stores that skipped the disk tier because
+    another process held the advisory lock -- a distinct outcome, not a
+    miss: the memory tier still serves and nothing was evicted.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    lock_contention: int = 0
 
     @property
     def lookups(self) -> int:
@@ -199,6 +366,7 @@ class PlanCacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "lock_contention": self.lock_contention,
         }
 
 
@@ -217,6 +385,9 @@ class PlanCache:
         self._memory: dict[str, str] = {}
         self.stats = PlanCacheStats()
         self._metrics = None
+        # Reentrant: a service admission thread holding the cache lock may
+        # re-enter through the planner's own get/put during a cold search.
+        self._tier_lock = threading.RLock()
 
     def bind_metrics(self, registry, cache: str = "plan") -> None:
         """Mirror hit/miss/store accounting into a telemetry registry."""
@@ -244,53 +415,75 @@ class PlanCache:
     ) -> "RapPlan | None":
         from .serialization import PlanLoadError, plan_from_json
 
-        tier = "memory"
-        text = self._memory.get(key)
-        if text is None and self.directory is not None:
-            path = self._path(key)
-            if path.exists():
+        with self._tier_lock:
+            tier = "memory"
+            text = self._memory.get(key)
+            if text is None and self.directory is not None:
+                path = self._path(key)
+                if path.exists():
+                    try:
+                        text = path.read_text()
+                    except OSError:
+                        text = None
+                    else:
+                        tier = "disk"
+            if text is not None:
                 try:
-                    text = path.read_text()
-                except OSError:
+                    plan = plan_from_json(text, workload, graph_set)
+                except PlanLoadError:
+                    # A torn or stale artifact is a miss, never an error: the
+                    # planner falls through to a fresh search and overwrites it.
                     text = None
                 else:
-                    tier = "disk"
-        if text is not None:
-            try:
-                plan = plan_from_json(text, workload, graph_set)
-            except PlanLoadError:
-                # A torn or stale artifact is a miss, never an error: the
-                # planner falls through to a fresh search and overwrites it.
-                text = None
-            else:
-                self._memory[key] = text
-                self.stats.hits += 1
-                if tier == "disk":
-                    self.stats.disk_hits += 1
-                self._count("hits", tier)
-                return plan
-        self.stats.misses += 1
-        self._count("misses")
-        return None
+                    self._memory[key] = text
+                    self.stats.hits += 1
+                    if tier == "disk":
+                        self.stats.disk_hits += 1
+                    self._count("hits", tier)
+                    return plan
+            self.stats.misses += 1
+            self._count("misses")
+            return None
+
+    def get_text(self, key: str) -> str | None:
+        """The raw stored plan text, without deserializing (no stats)."""
+        with self._tier_lock:
+            text = self._memory.get(key)
+            if text is None and self.directory is not None:
+                path = self._path(key)
+                if path.exists():
+                    try:
+                        text = path.read_text()
+                    except OSError:
+                        text = None
+            return text
 
     def put(self, key: str, plan: "RapPlan") -> None:
         from .serialization import plan_to_json
 
-        text = plan_to_json(plan)
-        self._memory[key] = text
-        self.stats.stores += 1
-        self._count("stores")
-        if self.directory is not None:
-            # Atomic write under an advisory lock: concurrent planners never
-            # interleave bytes, and a held lock degrades to skipping the
-            # disk tier (the memory tier still serves; a reader sees either
-            # the old complete entry or the new one).
-            try:
-                with advisory_lock(self.directory / ".lock") as acquired:
-                    if acquired:
-                        atomic_write_text(self._path(key), text)
-            except OSError:
-                pass  # best-effort persistence; the memory tier still serves
+        self.put_text(key, plan_to_json(plan))
+
+    def put_text(self, key: str, text: str) -> None:
+        """Store exact serialized-plan text under ``key``."""
+        with self._tier_lock:
+            self._memory[key] = text
+            self.stats.stores += 1
+            self._count("stores")
+            if self.directory is not None:
+                # Atomic write under an advisory lock: concurrent planners
+                # never interleave bytes, and a held lock degrades to
+                # skipping the disk tier (the memory tier still serves; a
+                # reader sees either the old complete entry or the new one).
+                try:
+                    with advisory_lock(self.directory / ".lock") as acquired:
+                        if acquired:
+                            atomic_write_text(self._path(key), text)
+                        else:
+                            self.stats.lock_contention += 1
+                            self._count("lock_contention", "disk")
+                except OSError:
+                    pass  # best-effort persistence; the memory tier still serves
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._tier_lock:
+            return len(self._memory)

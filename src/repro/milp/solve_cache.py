@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -79,13 +80,16 @@ class SolveCacheStats:
     """Hit/miss accounting for one cache instance.
 
     ``disk_hits`` counts the subset of ``hits`` served by the persistent
-    tier rather than process memory.
+    tier rather than process memory. ``lock_contention`` counts stores
+    that skipped the disk tier because another process held the advisory
+    lock -- distinct from a miss; the memory tier still serves.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    lock_contention: int = 0
 
     @property
     def lookups(self) -> int:
@@ -97,6 +101,7 @@ class SolveCacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "lock_contention": self.lock_contention,
         }
 
 
@@ -116,6 +121,9 @@ class SolveCache:
         self._memory: dict[str, dict] = {}
         self.stats = SolveCacheStats()
         self._metrics = None
+        # Reentrant for symmetry with PlanCache: concurrent admission
+        # threads share one solver cache across per-tenant planners.
+        self._tier_lock = threading.RLock()
 
     def bind_metrics(self, registry, cache: str = "milp") -> None:
         """Mirror hit/miss/store accounting into a telemetry registry."""
@@ -142,46 +150,52 @@ class SolveCache:
 
     def get(self, key: str):
         """Return the cached :class:`MilpSolution` for ``key``, or ``None``."""
-        tier = "memory"
-        payload = self._memory.get(key)
-        if payload is None and self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                try:
-                    payload = json.loads(path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    payload = None  # treat a torn write as a miss
-                else:
-                    self._memory[key] = payload
-                    tier = "disk"
-        if payload is None:
-            self.stats.misses += 1
-            self._count("misses")
-            return None
-        self.stats.hits += 1
-        if tier == "disk":
-            self.stats.disk_hits += 1
-        self._count("hits", tier)
-        return _solution_from_payload(payload)
+        with self._tier_lock:
+            tier = "memory"
+            payload = self._memory.get(key)
+            if payload is None and self.directory is not None:
+                path = self._path(key)
+                if path.exists():
+                    try:
+                        payload = json.loads(path.read_text())
+                    except (OSError, json.JSONDecodeError):
+                        payload = None  # treat a torn write as a miss
+                    else:
+                        self._memory[key] = payload
+                        tier = "disk"
+            if payload is None:
+                self.stats.misses += 1
+                self._count("misses")
+                return None
+            self.stats.hits += 1
+            if tier == "disk":
+                self.stats.disk_hits += 1
+            self._count("hits", tier)
+            return _solution_from_payload(payload)
 
     def put(self, key: str, solution) -> None:
         payload = _solution_to_payload(solution)
-        self._memory[key] = payload
-        self.stats.stores += 1
-        self._count("stores")
-        if self.directory is not None:
-            # Same crash-safety contract as the plan cache: atomic replace
-            # under a non-blocking advisory lock, contention downgrades to
-            # a skipped store rather than an error or a torn file.
-            try:
-                with advisory_lock(self.directory / ".lock") as acquired:
-                    if acquired:
-                        atomic_write_text(self._path(key), json.dumps(payload))
-            except OSError:
-                pass  # persistence is best-effort; memory tier still serves
+        with self._tier_lock:
+            self._memory[key] = payload
+            self.stats.stores += 1
+            self._count("stores")
+            if self.directory is not None:
+                # Same crash-safety contract as the plan cache: atomic replace
+                # under a non-blocking advisory lock, contention downgrades to
+                # a skipped store rather than an error or a torn file.
+                try:
+                    with advisory_lock(self.directory / ".lock") as acquired:
+                        if acquired:
+                            atomic_write_text(self._path(key), json.dumps(payload))
+                        else:
+                            self.stats.lock_contention += 1
+                            self._count("lock_contention", "disk")
+                except OSError:
+                    pass  # persistence is best-effort; memory tier still serves
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._tier_lock:
+            return len(self._memory)
 
 
 def _solution_to_payload(solution) -> dict:

@@ -71,10 +71,25 @@ class CheckpointManager:
     directories) is never pruned.
     """
 
-    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 3,
+        namespace: str | None = None,
+    ) -> None:
+        """``namespace`` scopes checkpoints to a subdirectory of the root.
+
+        The preprocessing service gives every tenant its own namespace
+        under one shared service root, so per-tenant cadence, pruning, and
+        resume never see another tenant's directories.
+        """
         if keep < 1:
             raise ValueError("keep must be >= 1")
-        self.directory = Path(directory)
+        if namespace is not None and not _TAG_RE.fullmatch(namespace):
+            raise ValueError(f"bad checkpoint namespace {namespace!r}")
+        self.namespace = namespace
+        root = Path(directory)
+        self.directory = root / namespace if namespace is not None else root
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         # Pinned directory names survive pruning unconditionally. Pins are

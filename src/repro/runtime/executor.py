@@ -290,9 +290,14 @@ class FaultTolerantRuntime:
         verifier: DataPathVerifier | None = None,
         feeder=None,
         shadow: ShadowPlanner | None = None,
+        tenant: str | None = None,
     ) -> None:
         if sequential_fault_threshold < 1:
             raise ValueError("sequential_fault_threshold must be >= 1")
+        # Multi-tenant service runs tag every journal record with the
+        # owning tenant; ``None`` (every standalone run) leaves the
+        # journal's bytes exactly as before.
+        self.tenant = tenant
         self.planner = planner
         self.graph_set = graph_set
         self.plan = plan if plan is not None else planner.plan(graph_set)
@@ -352,6 +357,11 @@ class FaultTolerantRuntime:
         # Retry attempts charged against the current plan epoch (only
         # consulted when the policy sets a per-epoch budget).
         self._epoch_retry_used = 0
+        # Service preemption: while True every placed kernel lives on the
+        # host pool and watchdog/drift triggers may not replan (a replan
+        # would hand back GPU capacity the service revoked). Cleared by
+        # adopt_plan() when the service restores the tenant.
+        self._preempted = False
 
     @property
     def workload(self):
@@ -371,6 +381,8 @@ class FaultTolerantRuntime:
 
     def _journal(self, record_type: str, **fields) -> None:
         if self.journal is not None:
+            if self.tenant is not None:
+                fields.setdefault("tenant", self.tenant)
             self.journal.append(record_type, **fields)
 
     # ------------------------------------------------------------------
@@ -690,7 +702,12 @@ class FaultTolerantRuntime:
             self.plan.predicted_exposed_us, exposed_us, len(faults)
         )
         replanned = False
-        if self.shadow is not None:
+        if self._preempted:
+            # An evicted tenant holds no carve; neither the watchdog nor
+            # drift may replan it back onto the GPUs (the service restores
+            # capacity explicitly through adopt_plan).
+            pass
+        elif self.shadow is not None:
             # Guarded mode: route triggers into the shadow loop (see the
             # transparent path above for rationale).
             if drift_event is not None:
@@ -757,6 +774,83 @@ class FaultTolerantRuntime:
             reason=reason,
             plan_epoch=self.plan_epoch,
             num_gpus=self.workload.num_gpus,
+        )
+
+    # ------------------------------------------------------------------
+    # Service control plane (multi-tenant carve changes)
+    # ------------------------------------------------------------------
+
+    def adopt_plan(
+        self,
+        planner: RapPlanner,
+        plan: RapPlan,
+        iteration: int = -1,
+        reason: str = "carve",
+    ) -> None:
+        """Swap in an externally planned (planner, plan) pair.
+
+        The preprocessing service re-prices a tenant whenever its capacity
+        carve changes (another tenant arrived, finished, or was preempted)
+        and hands the result here. Semantically a replan: the epoch
+        advances, drift scale and evicted kernels reset, and the watchdog
+        window restarts against the new plan's predictions. Also the
+        restore path out of :meth:`evict_to_cpu`.
+        """
+        self.planner = planner
+        self.plan = plan
+        self._scale = 1.0
+        self._cpu_kernels.clear()
+        self._preempted = False
+        self.watchdog.reset()
+        self.plan_epoch += 1
+        self._epoch_retry_used = 0
+        if self.telemetry is not None:
+            self.telemetry.note_replan(iteration, reason, self.plan_epoch)
+        self._journal(
+            "replan",
+            iteration=iteration,
+            reason=reason,
+            plan_epoch=self.plan_epoch,
+            num_gpus=self.workload.num_gpus,
+        )
+
+    def evict_to_cpu(self, iteration: int = -1, reason: str = "preempted") -> None:
+        """Demote every placed kernel to the host pool (service preemption).
+
+        The tenant keeps making progress -- preprocessing paces through
+        :func:`cpu_fallback_production_us` while training stays on its
+        GPUs -- but holds zero carved GPU capacity until the service
+        restores it through :meth:`adopt_plan`. Watchdog and drift replans
+        are suppressed for the duration; they would otherwise claw back
+        the revoked capacity.
+        """
+        import dataclasses
+
+        demoted: list[KernelDesc] = []
+        for per_gpu in self.plan.assignments_per_gpu:
+            for stage_idx in sorted(per_gpu):
+                demoted.extend(per_gpu[stage_idx])
+        for trailing in self.plan.trailing_per_gpu:
+            demoted.extend(trailing)
+        self.plan = dataclasses.replace(
+            self.plan,
+            assignments_per_gpu=[{} for _ in range(self.workload.num_gpus)],
+            trailing_per_gpu=[[] for _ in range(self.workload.num_gpus)],
+        )
+        self._cpu_kernels.extend(demoted)
+        self._scale = 1.0
+        self._preempted = True
+        self.watchdog.reset()
+        self.plan_epoch += 1
+        self._epoch_retry_used = 0
+        if self.telemetry is not None:
+            self.telemetry.note_replan(iteration, reason, self.plan_epoch)
+        self._journal(
+            "evict",
+            iteration=iteration,
+            reason=reason,
+            plan_epoch=self.plan_epoch,
+            kernels=len(demoted),
         )
 
     # ------------------------------------------------------------------
@@ -1285,6 +1379,8 @@ class FaultTolerantRuntime:
             state["injector"]["schedule"] = [e.to_dict() for e in schedule]
         if self.retry_policy.retry_budget_per_epoch > 0:
             state["epoch_retry_used"] = self._epoch_retry_used
+        if self._preempted:
+            state["preempted"] = True
         if self.drift_schedule:
             state["drift_schedule"] = [d.to_dict() for d in self.drift_schedule]
         if self.telemetry is not None:
@@ -1331,6 +1427,7 @@ class FaultTolerantRuntime:
         verifier: DataPathVerifier | None = None,
         feeder=None,
         shadow: ShadowPlanner | None = None,
+        tenant: str | None = None,
     ) -> tuple["FaultTolerantRuntime", ResilienceReport, int]:
         """Rebuild a runtime from a checkpoint :class:`Snapshot`.
 
@@ -1380,6 +1477,7 @@ class FaultTolerantRuntime:
             verifier=verifier,
             feeder=feeder,
             shadow=shadow,
+            tenant=tenant,
         )
         if shadow is not None:
             shadow.load_state(state.get("shadow", {}))
@@ -1394,6 +1492,7 @@ class FaultTolerantRuntime:
             int(g) for g in state.get("original_ids", range(live.num_gpus))
         ]
         runtime._epoch_retry_used = int(state.get("epoch_retry_used", 0))
+        runtime._preempted = bool(state.get("preempted", False))
         runtime.watchdog.load_state(state.get("watchdog", {}))
         calibration = state.get("calibration")
         if calibration is not None and telemetry is not None:

@@ -1,0 +1,83 @@
+"""Service-level metric families (``rap_service_*``).
+
+These live in the *service's own* registry, separate from each tenant's
+:class:`~repro.telemetry.TelemetrySession` (whose families all carry
+that tenant's ``tenant`` default label). Families that describe one
+tenant's slice of the fleet carry an explicit ``tenant`` label here; the
+rest describe the service as a whole.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.registry import DEFAULT_LATENCY_BUCKETS_US, MetricsRegistry
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """One handle over every ``rap_service_*`` instrument."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._queue_depth = self.registry.gauge(
+            "rap_service_queue_depth", help="Jobs waiting for admission"
+        )
+        self._active = self.registry.gauge(
+            "rap_service_active_tenants", help="Tenants currently holding a carve"
+        )
+        self._admission_latency = self.registry.histogram(
+            "rap_service_admission_latency_us",
+            help="Wall-clock admission latency (pricing + plan lookup)",
+            buckets=DEFAULT_LATENCY_BUCKETS_US,
+        )
+
+    # ------------------------------------------------------------------
+
+    def set_queue_depth(self, depth: int) -> None:
+        self._queue_depth.set(depth)
+
+    def set_active_tenants(self, count: int) -> None:
+        self._active.set(count)
+
+    def observe_admission(self, outcome: str, latency_us: float) -> None:
+        self.registry.counter(
+            "rap_service_admissions_total",
+            help="Admission decisions by outcome",
+            labels={"outcome": outcome},
+        ).inc()
+        self._admission_latency.observe(latency_us)
+
+    def note_plan_reuse(self, source: str) -> None:
+        self.registry.counter(
+            "rap_service_plan_source_total",
+            help="Admitted plans by provenance (cold/warm-exact/warm-invariant)",
+            labels={"source": source},
+        ).inc()
+
+    def note_preemption(self, tenant: str) -> None:
+        self.registry.counter(
+            "rap_service_preemptions_total",
+            help="Best-effort evictions to CPU fallback by tenant",
+            labels={"tenant": tenant},
+        ).inc()
+
+    def set_share(self, tenant: str, share: float) -> None:
+        self.registry.gauge(
+            "rap_service_carve_share",
+            help="Fair-share fraction of leftover capacity by tenant",
+            labels={"tenant": tenant},
+        ).set(share)
+
+    def set_carve_utilization(self, tenant: str, fraction: float) -> None:
+        self.registry.gauge(
+            "rap_service_carve_utilization",
+            help="Fraction of the tenant's kernels running inside its carve",
+            labels={"tenant": tenant},
+        ).set(fraction)
+
+    def set_tenant_exposed(self, tenant: str, exposed_us: float) -> None:
+        self.registry.gauge(
+            "rap_service_tenant_exposed_us",
+            help="Mean exposed preprocessing latency by tenant",
+            labels={"tenant": tenant},
+        ).set(exposed_us)

@@ -180,16 +180,27 @@ class MetricsRegistry:
     silent double registration is how dashboards end up lying.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, default_labels: Mapping[str, str] | None = None) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[tuple, object] = {}
         self._types: dict[str, type] = {}
         self._help: dict[str, str] = {}
         self._buckets: dict[str, tuple[float, ...]] = {}
+        # Labels stamped onto every instrument this registry creates. A
+        # per-tenant TelemetrySession uses this to put ``tenant=<name>`` on
+        # all rap_* families without the runtime knowing about tenancy.
+        self.default_labels = {
+            str(k): str(v) for k, v in (default_labels or {}).items()
+        }
+        _validate("rap_default_labels_probe", self.default_labels)
 
     # ------------------------------------------------------------------
 
     def _get_or_create(self, cls, name, labels, help_text, **kwargs):
+        if self.default_labels:
+            merged = dict(self.default_labels)
+            merged.update(labels or {})
+            labels = merged
         _validate(name, labels)
         key = metric_key(name, labels)
         with self._lock:

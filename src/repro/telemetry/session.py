@@ -39,9 +39,13 @@ class TelemetrySession:
         metrics_dir: str | Path | None = None,
         residual: ResidualModel | None = None,
         drift_detector: DriftDetector | None = None,
+        tenant: str | None = None,
     ) -> None:
         self.metrics_dir = Path(metrics_dir) if metrics_dir is not None else None
-        self.registry = MetricsRegistry()
+        self.tenant = tenant
+        self.registry = MetricsRegistry(
+            default_labels={"tenant": tenant} if tenant is not None else None
+        )
         self.tracer = Tracer()
         self.residual = residual if residual is not None else ResidualModel()
         self.drift_detector = (

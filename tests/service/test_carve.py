@@ -1,0 +1,110 @@
+"""Fair-share math and leftover-capacity carving."""
+
+import pytest
+
+from repro.core.plan_cache import workload_fingerprint
+from repro.dlrm import TrainingWorkload, model_for_plan
+from repro.gpusim import ResourceVector, StageProfile
+from repro.preprocessing import build_plan
+from repro.service import CarvedTrainingWorkload, carve_stage, carved_workload, weighted_max_min
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    graphs, schema = build_plan(0, rows=512)
+    return TrainingWorkload(model_for_plan(graphs, schema), num_gpus=2, local_batch=512)
+
+
+class TestWeightedMaxMin:
+    def test_lone_tenant_gets_exactly_one(self):
+        assert weighted_max_min({"a": 1.0}) == {"a": 1.0}
+
+    def test_equal_weights_split_evenly(self):
+        shares = weighted_max_min({"a": 1.0, "b": 1.0})
+        assert shares["a"] == pytest.approx(0.5)
+        assert shares["b"] == pytest.approx(0.5)
+
+    def test_weights_scale_shares(self):
+        shares = weighted_max_min({"a": 1.0, "b": 1.0}, {"a": 3.0, "b": 1.0})
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_capped_demand_redistributes(self):
+        # a wants only 0.1; b picks up the slack.
+        shares = weighted_max_min({"a": 0.1, "b": 1.0})
+        assert shares["a"] == pytest.approx(0.1)
+        assert shares["b"] == pytest.approx(0.9)
+
+    def test_total_never_exceeds_capacity(self):
+        shares = weighted_max_min(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, {"a": 4.0, "b": 2.0, "c": 1.0}
+        )
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["a"] > shares["b"] > shares["c"]
+
+    def test_deterministic_across_orderings(self):
+        lhs = weighted_max_min({"x": 0.4, "y": 1.0, "z": 0.3})
+        rhs = weighted_max_min({"z": 0.3, "x": 0.4, "y": 1.0})
+        assert lhs == rhs
+
+    def test_empty(self):
+        assert weighted_max_min({}) == {}
+
+
+class TestCarveStage:
+    def test_full_share_is_identity_valued(self):
+        stage = StageProfile("mlp", 100.0, ResourceVector(sm=0.4, dram=0.2))
+        carved = carve_stage(stage, 1.0)
+        assert carved.utilization.sm == pytest.approx(0.4)
+        assert carved.utilization.dram == pytest.approx(0.2)
+
+    def test_half_share_halves_leftover(self):
+        stage = StageProfile("emb", 100.0, ResourceVector(sm=0.4, dram=0.8))
+        carved = carve_stage(stage, 0.5)
+        assert carved.utilization.sm == pytest.approx(0.7)   # 1 - 0.5*(1-0.4)
+        assert carved.utilization.dram == pytest.approx(0.9)  # 1 - 0.5*(1-0.8)
+        assert carved.duration_us == stage.duration_us
+        assert carved.name == stage.name
+
+    def test_oversubscribed_demand_clamps(self):
+        stage = StageProfile("comm", 10.0, ResourceVector(sm=1.3, dram=0.0))
+        carved = carve_stage(stage, 0.5)
+        assert carved.utilization.sm == 1.0
+
+
+class TestCarvedWorkload:
+    def test_share_one_returns_base_object(self, base_workload):
+        # Bit-identity requires the very same object, not a float-scaled copy.
+        assert carved_workload(base_workload, 1.0) is base_workload
+
+    def test_partial_share_shrinks_leftover(self, base_workload):
+        carved = carved_workload(base_workload, 0.5)
+        assert isinstance(carved, CarvedTrainingWorkload)
+        for gpu in range(base_workload.num_gpus):
+            for full, cut in zip(
+                base_workload.stages_for_gpu(gpu), carved.stages_for_gpu(gpu)
+            ):
+                assert cut.duration_us == full.duration_us
+                assert cut.leftover().sm <= full.leftover().sm + 1e-12
+                assert cut.leftover().sm == pytest.approx(0.5 * full.leftover().sm)
+
+    def test_ideal_iteration_unchanged(self, base_workload):
+        carved = carved_workload(base_workload, 0.3)
+        assert carved.ideal_iteration_us() == pytest.approx(
+            base_workload.ideal_iteration_us()
+        )
+
+    def test_share_feeds_cache_fingerprint(self, base_workload):
+        half = carved_workload(base_workload, 0.5)
+        third = carved_workload(base_workload, 1.0 / 3.0)
+        fingerprints = {
+            workload_fingerprint(base_workload),
+            workload_fingerprint(half),
+            workload_fingerprint(third),
+        }
+        assert len(fingerprints) == 3
+
+    @pytest.mark.parametrize("share", [0.0, -0.1, 1.5])
+    def test_bad_share_rejected(self, base_workload, share):
+        with pytest.raises(ValueError):
+            carved_workload(base_workload, share)

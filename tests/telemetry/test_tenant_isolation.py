@@ -1,0 +1,65 @@
+"""Per-tenant telemetry isolation (service satellite).
+
+Every tenant owns a :class:`TelemetrySession` constructed with its
+``tenant`` label; its registry, artifacts, and exported text must be
+fully disjoint from every other tenant's, and every exported sample must
+carry the owning tenant's label.
+"""
+
+import pytest
+
+from repro.telemetry.exposition import parse_prometheus_text
+from repro.telemetry.session import TelemetrySession
+
+
+@pytest.fixture()
+def sessions(tmp_path):
+    a = TelemetrySession(metrics_dir=tmp_path / "a", tenant="a")
+    b = TelemetrySession(metrics_dir=tmp_path / "b", tenant="b")
+    a.record_iteration(0, iteration_us=100.0, exposed_us=5.0)
+    a.record_iteration(1, iteration_us=110.0, exposed_us=6.0)
+    b.record_iteration(0, iteration_us=900.0, exposed_us=50.0)
+    return a, b
+
+
+class TestTenantIsolation:
+    def test_registries_are_disjoint_objects(self, sessions):
+        a, b = sessions
+        assert a.registry is not b.registry
+        assert a.registry.snapshot()["rap_iterations_total"]["series"][0]["value"] == 2
+        assert b.registry.snapshot()["rap_iterations_total"]["series"][0]["value"] == 1
+
+    def test_every_sample_carries_its_tenant_label(self, sessions):
+        for session, tenant in zip(sessions, ("a", "b")):
+            snapshot = session.registry.snapshot()
+            assert snapshot  # at least the shared instruments exist
+            for family in snapshot.values():
+                for series in family["series"]:
+                    assert series["labels"].get("tenant") == tenant
+
+    def test_recording_into_one_never_moves_the_other(self, sessions):
+        a, b = sessions
+        before = b.registry.snapshot()
+        a.record_iteration(2, iteration_us=120.0, exposed_us=7.0)
+        assert b.registry.snapshot() == before
+
+    def test_exported_text_round_trips_strictly(self, sessions):
+        for session, tenant in zip(sessions, ("a", "b")):
+            families = parse_prometheus_text(session.prometheus_text())
+            assert "rap_iteration_latency_us" in families
+            for family in families.values():
+                for labels, _ in family["samples"]:
+                    assert labels.get("tenant") == tenant
+
+    def test_artifacts_land_in_disjoint_directories(self, sessions):
+        a, b = sessions
+        paths_a = a.write_artifacts(step=2)
+        paths_b = b.write_artifacts(step=1)
+        assert paths_a["prometheus"] != paths_b["prometheus"]
+        text_a = paths_a["prometheus"].read_text()
+        text_b = paths_b["prometheus"].read_text()
+        assert 'tenant="a"' in text_a and 'tenant="b"' not in text_a
+        assert 'tenant="b"' in text_b and 'tenant="a"' not in text_b
+        # Both exported files are strictly parseable on their own.
+        parse_prometheus_text(text_a)
+        parse_prometheus_text(text_b)
