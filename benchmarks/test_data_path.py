@@ -18,6 +18,7 @@ by a CI-noise margin.
 """
 
 import json
+import os
 import statistics
 import time
 from pathlib import Path
@@ -27,9 +28,11 @@ import pytest
 
 from repro.ioutil import atomic_write_json
 from repro.preprocessing import (
+    ParallelEngine,
     PipelinedFeeder,
     SyntheticBatchSource,
     SyntheticCriteoDataset,
+    available_backends,
     build_plan,
     compile_graph_set,
     execute_graph_set,
@@ -62,6 +65,11 @@ MIN_FUSION_RATIO = 0.85
 MIN_PIPELINE_SPEEDUP = 1.3
 #: Memoized _config_noise over the raw digest computation.
 MIN_NOISE_MEMO_SPEEDUP = 2.0
+#: Multi-core engine scaling gates (ISSUE 10). Gated only on hosts with
+#: at least that many physical cores -- a 1-core CI container records the
+#: curve and a skip notice instead of a meaningless failure.
+MIN_PARALLEL_SPEEDUP_4W = 4.0
+MIN_PARALLEL_SPEEDUP_8W = 6.0
 
 RESULTS: dict = {}
 
@@ -81,6 +89,8 @@ def write_bench_json():
             "fused_vs_unfused": MIN_FUSION_RATIO,
             "pipelined_vs_sequential": MIN_PIPELINE_SPEEDUP,
             "config_noise_memo": MIN_NOISE_MEMO_SPEEDUP,
+            "parallel_speedup_4_workers": MIN_PARALLEL_SPEEDUP_4W,
+            "parallel_speedup_8_workers": MIN_PARALLEL_SPEEDUP_8W,
         },
         "results": RESULTS,
     }
@@ -239,6 +249,70 @@ def test_bench_pipelined_feeder():
         f"pipelined feeder only {speedup:.2f}x over sequential "
         f"(bar {MIN_PIPELINE_SPEEDUP}x)"
     )
+
+
+def test_bench_parallel_scaling():
+    """Per-core scaling curve of the sharded shm engine (ISSUE 10).
+
+    The curve (parallel engine at 1/2/4/8 workers vs the single-core
+    compiled engine) is always measured and recorded; the 4x@4 / 6x@8
+    gates only apply on hosts that actually have that many cores. On a
+    1-core container the parallel engine cannot beat single-core (its
+    workers time-slice one CPU and pay the shm handoff on top), so the
+    gates skip with a notice instead of failing on physics.
+    """
+    cores = len(os.sched_getaffinity(0))
+    rows = 4096
+    graphs, schema = build_plan(1, rows=rows)
+    batch = SyntheticCriteoDataset(schema, seed=17).batch(rows, index=0)
+    program = compile_graph_set(graphs)
+    program.execute(batch)
+    single_s = _best_s(lambda: program.execute(batch), reps=5)
+
+    curve = {}
+    worker_counts = [1, 2, 4, 8]
+    for workers in worker_counts:
+        with ParallelEngine(graphs, workers=workers) as engine:
+            engine.execute(batch)  # warm: spawn, per-shard compile, arenas
+            par_s = _best_s(lambda: engine.execute(batch), reps=5)
+            curve[str(workers)] = {
+                "shards": engine.num_shards,
+                "ms_per_batch": round(par_s * 1e3, 4),
+                "batches_per_s": round(1.0 / par_s, 2),
+                "speedup_vs_single_core": round(single_s / par_s, 3),
+                "shm_bytes_in_flight": engine.shm_bytes_in_flight(),
+                "worker_busy_fraction": engine.worker_busy_fractions(),
+            }
+
+    gates = {
+        "4_workers": {
+            "bar": MIN_PARALLEL_SPEEDUP_4W,
+            "applied": cores >= 4,
+            "measured": curve["4"]["speedup_vs_single_core"],
+        },
+        "8_workers": {
+            "bar": MIN_PARALLEL_SPEEDUP_8W,
+            "applied": cores >= 8,
+            "measured": curve["8"]["speedup_vs_single_core"],
+        },
+    }
+    RESULTS["parallel_scaling_plan1_rows4096"] = {
+        "cores": cores,
+        "backends_available": available_backends(),
+        "single_core_ms_per_batch": round(single_s * 1e3, 4),
+        "curve": curve,
+        "gates": gates,
+        "arena_stats": program.arena.stats(),
+    }
+    if cores >= 4:
+        assert curve["4"]["speedup_vs_single_core"] >= MIN_PARALLEL_SPEEDUP_4W
+    if cores >= 8:
+        assert curve["8"]["speedup_vs_single_core"] >= MIN_PARALLEL_SPEEDUP_8W
+    if cores < 4:
+        pytest.skip(
+            f"scaling gates need >= 4 cores, host has {cores}; "
+            "curve recorded in BENCH_data_path.json"
+        )
 
 
 def test_bench_config_noise_memoization():

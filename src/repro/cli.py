@@ -65,7 +65,15 @@ from .ingest import (
     QueueConfig,
     build_source,
 )
-from .preprocessing import OP_REGISTRY, SyntheticCriteoDataset, build_plan
+from .preprocessing import (
+    BACKEND_NAMES,
+    OP_REGISTRY,
+    BufferArena,
+    EngineMetrics,
+    ParallelEngine,
+    SyntheticCriteoDataset,
+    build_plan,
+)
 from .preprocessing.executor import execute_graph_set
 from .preprocessing.random_plans import RandomPlanConfig, generate_random_plan
 from .runtime import (
@@ -268,18 +276,43 @@ def _print_telemetry_summary(telemetry: TelemetrySession | None) -> None:
     print(format_kv(lines, title="Telemetry"))
 
 
-def _print_data_path(plan, schema, engine: str, seed: int) -> None:
+def _print_data_path(
+    plan,
+    schema,
+    engine: str,
+    seed: int,
+    workers: int = 0,
+    backend: str | None = None,
+    registry=None,
+) -> None:
     """Execute one real synthetic batch through the selected data-path engine."""
     graphs = plan.graph_set
     batch = SyntheticCriteoDataset(schema, seed=seed).batch(graphs.rows, index=0)
-    if engine == "compiled":
-        programs = compile_plan(plan, rows=graphs.rows)
+    parallel = None
+    arena = None
+    extra: dict[str, object] = {}
+    if workers > 0:
+        parallel = ParallelEngine(
+            graphs,
+            workers=workers,
+            backend=backend,
+            metrics=EngineMetrics(registry),
+        )
+
+        def run_once():
+            parallel.execute(batch)
+
+        label = f"parallel ({workers} workers)"
+    elif engine == "compiled":
+        arena = BufferArena()
+        programs = compile_plan(plan, arena=arena, rows=graphs.rows, backend=backend)
 
         def run_once():
             for program in programs.values():
                 program.execute(batch)
 
-        shape = (
+        label = engine
+        extra["program"] = (
             f"{sum(p.num_ops for p in programs.values())} ops in "
             f"{sum(p.num_steps for p in programs.values())} fused steps "
             f"(max degree {max(p.max_fusion_degree for p in programs.values())})"
@@ -289,25 +322,50 @@ def _print_data_path(plan, schema, engine: str, seed: int) -> None:
         def run_once():
             execute_graph_set(graphs, batch)
 
-        shape = f"{sum(len(g.ops) for g in graphs)} ops, one dispatch each"
-    run_once()  # warmup: first execution pays compilation/arena growth
-    reps = 5
-    start = time.perf_counter()
-    for _ in range(reps):
-        run_once()
-    per_batch_s = (time.perf_counter() - start) / reps
-    print(
-        format_kv(
-            {
-                "engine": engine,
-                "program": shape,
-                "batch rows": graphs.rows,
-                "latency (ms/batch)": round(per_batch_s * 1e3, 3),
-                "throughput (batches/s)": round(1.0 / per_batch_s, 1),
-            },
-            title="Functional data path",
-        )
-    )
+        label = engine
+        extra["program"] = f"{sum(len(g.ops) for g in graphs)} ops, one dispatch each"
+    try:
+        run_once()  # warmup: first execution pays compilation/arena growth
+        reps = 5
+        start = time.perf_counter()
+        for _ in range(reps):
+            run_once()
+        per_batch_s = (time.perf_counter() - start) / reps
+        if parallel is not None:
+            info = parallel.summary()
+            extra["program"] = (
+                f"{info['steps']} fused steps over {parallel.num_shards} shards "
+                f"{parallel.shard_sizes()}"
+            )
+            steps_by_backend = ", ".join(
+                f"{name}={count}" for name, count in sorted(info["backend_steps"].items())
+            )
+            extra["kernel backend"] = f"{info['backend']} ({steps_by_backend})"
+            busy = ", ".join(
+                f"w{i} {frac:.2f}"
+                for i, frac in sorted(parallel.worker_busy_fractions().items())
+            )
+            extra["worker busy fractions"] = busy or "n/a"
+            extra["shm bytes in flight"] = parallel.shm_bytes_in_flight()
+        elif engine == "compiled":
+            extra["kernel backend"] = backend or "numpy"
+        lines = {
+            "engine": label,
+            **extra,
+            "batch rows": graphs.rows,
+            "latency (ms/batch)": round(per_batch_s * 1e3, 3),
+            "throughput (batches/s)": round(1.0 / per_batch_s, 1),
+        }
+        if arena is not None:
+            stats = arena.stats()
+            lines["arena"] = (
+                f"{stats['pooled_bytes']} pooled bytes, hit rate "
+                f"{stats['hit_rate']:.2f}, {stats['evicted_blocks']} evictions"
+            )
+        print(format_kv(lines, title="Functional data path"))
+    finally:
+        if parallel is not None:
+            parallel.close()
 
 
 def cmd_plan(args) -> int:
@@ -513,7 +571,13 @@ def cmd_run(args) -> int:
     shadow = _make_shadow(args)
     feeder, ingest_metrics = _make_feeder(args, telemetry)
     verifier = (
-        DataPathVerifier(schema, every=args.verify_data, seed=args.seed)
+        DataPathVerifier(
+            schema,
+            every=args.verify_data,
+            seed=args.seed,
+            workers=args.engine_workers,
+            backend=args.kernel_backend,
+        )
         if args.verify_data > 0
         else None
     )
@@ -600,6 +664,8 @@ def cmd_run(args) -> int:
     finally:
         if feeder is not None:
             feeder.close()
+        if verifier is not None:
+            verifier.close()
         if journal is not None:
             journal.close()
     print()
@@ -609,9 +675,17 @@ def cmd_run(args) -> int:
     # The data-path block reports measured wall-clock, so it only appears
     # when the engine or verification was explicitly requested; the
     # default output stays byte-reproducible under a fixed seed.
-    if args.engine != "naive" or args.verify_data > 0:
+    if args.engine != "naive" or args.verify_data > 0 or args.engine_workers > 0:
         print()
-        _print_data_path(runtime.plan, schema, args.engine, args.seed)
+        _print_data_path(
+            runtime.plan,
+            schema,
+            args.engine,
+            args.seed,
+            workers=args.engine_workers,
+            backend=args.kernel_backend,
+            registry=telemetry.registry if telemetry is not None else None,
+        )
     if runtime.verifier is not None and runtime.verifier.history:
         checks = runtime.verifier.history
         print(
@@ -906,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="every N iterations, execute a real synthetic batch "
                             "through the compiled engine and cross-check "
                             "bit-identity against the naive executor (0 = off)")
+    p_run.add_argument("--engine-workers", type=int, default=0, metavar="N",
+                       help="execute the functional data path (and --verify-data "
+                            "checks) through the multi-core sharded engine with N "
+                            "worker processes over shared-memory arenas "
+                            "(0 = in-process, the default)")
+    p_run.add_argument("--kernel-backend", choices=BACKEND_NAMES, default="numpy",
+                       help="compiled-kernel backend for data-path execution; "
+                            "'auto' picks the fastest available and every backend "
+                            "falls back to numpy per-op when unavailable "
+                            "(default numpy)")
     p_run.add_argument("--shadow", action="store_true",
                        help="attach the shadow promotion loop: continuously search "
                             "candidate plans against calibrated costs, promote only "

@@ -13,6 +13,13 @@ in the telemetry registry. See DESIGN.md §14.
 from .feeder import PipelinedFeeder, QueueConfig
 from .metrics import IngestMetrics
 from .queue import OVERLOAD_POLICIES, BackpressureQueue, QueueClosed, QueueStats
+from .shmio import (
+    ShmBatchHandle,
+    decode_batch,
+    dispose_handle,
+    encode_batch,
+    shm_available,
+)
 from .sources import (
     BatchSource,
     CsvSource,
@@ -47,11 +54,16 @@ __all__ = [
     "QueueConfig",
     "QueueStats",
     "ReplaySource",
+    "ShmBatchHandle",
     "SourceSpec",
     "SyntheticBatchSource",
     "SyntheticSource",
     "build_source",
+    "decode_batch",
+    "dispose_handle",
+    "encode_batch",
     "parse_spec",
+    "shm_available",
     "source",
     "split_specs",
     "write_csv",

@@ -1,0 +1,170 @@
+"""Shared-memory batch handoff for process-mode ingest (DESIGN.md §17).
+
+Process-mode feeding previously shipped every produced batch back through
+the ``ProcessPoolExecutor`` result pipe -- a full pickle round trip per
+batch. This module replaces the payload with a tiny
+:class:`ShmBatchHandle`: the producer encodes the batch into one named
+``multiprocessing.shared_memory`` segment and only the handle (name +
+column layout) crosses the pipe; the parent attaches, **unlinks
+immediately** (the mapping survives; the name cannot leak), and rebuilds
+the batch as zero-copy views.
+
+Lifecycle discipline mirrors :mod:`repro.preprocessing.parallel`: the
+segment name is registered with the parent's resource tracker (workers
+are forked after ``ensure_running``), and exactly one ``unlink`` per name
+retires it -- either :func:`decode_batch` on delivery or
+:func:`dispose_handle` on any path that discards an undecoded handle
+(drop-oldest eviction, lease teardown, spilled-file cleanup).
+
+Availability is probed once per feeder: POSIX ``/dev/shm``, fork start
+method, and not opted out via ``RAP_DISABLE_SHM_INGEST``. When
+unavailable the feeder transparently falls back to the pickle path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+
+import numpy as np
+
+from ..preprocessing.data import Batch
+from ..preprocessing.parallel import (
+    _decode_input_batch,
+    _release_fd,
+    attach_segment,
+    leaked_segments,
+    unlink_segment,
+)
+
+__all__ = [
+    "DISABLE_ENV",
+    "SHM_PREFIX",
+    "ShmBatchHandle",
+    "decode_batch",
+    "dispose_handle",
+    "encode_batch",
+    "shm_available",
+]
+
+DISABLE_ENV = "RAP_DISABLE_SHM_INGEST"
+SHM_PREFIX = "rap-ing"
+
+_ALIGN = 64
+_handle_ids = itertools.count()
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def shm_available() -> bool:
+    """True when the shared-memory handoff can be used safely.
+
+    Requires POSIX ``/dev/shm`` (name-based sweeps need it), the ``fork``
+    start method (workers must inherit the parent's resource tracker so
+    registrations retire in one place), and no ``RAP_DISABLE_SHM_INGEST``
+    opt-out.
+    """
+    if os.environ.get(DISABLE_ENV):
+        return False
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX
+        return False
+    return multiprocessing.get_start_method(allow_none=True) in (None, "fork")
+
+
+class ShmBatchHandle:
+    """Picklable pointer to one encoded batch: segment name + layout."""
+
+    def __init__(self, name: str, layout: dict, nbytes: int) -> None:
+        self.name = name
+        self.layout = layout
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmBatchHandle({self.name!r}, {len(self.layout)} columns, {self.nbytes} bytes)"
+
+
+def encode_batch(batch: Batch, prefix: str = SHM_PREFIX) -> ShmBatchHandle:
+    """Copy ``batch`` into a fresh named segment (producer side).
+
+    The layout format is shared with the parallel engine's input path
+    (:func:`repro.preprocessing.parallel._decode_input_batch`), so decode
+    is the exact same trusted-view reconstruction.
+    """
+    from multiprocessing import shared_memory
+
+    layout: dict[str, tuple] = {}
+    offset = 0
+    for name in sorted(batch.dense):
+        values = batch.dense[name].values
+        layout[name] = ("dense", values.dtype.str, offset, len(values))
+        offset += _align(values.nbytes)
+    for name in sorted(batch.sparse):
+        col = batch.sparse[name]
+        o_off = offset
+        offset += _align(col.offsets.nbytes)
+        v_off = offset
+        offset += _align(col.values.nbytes)
+        layout[name] = (
+            "sparse",
+            o_off,
+            len(col.offsets),
+            col.values.dtype.str,
+            v_off,
+            len(col.values),
+            col.hash_size,
+        )
+    seg_name = f"{prefix}-{os.getpid()}-{next(_handle_ids)}"
+    seg = shared_memory.SharedMemory(name=seg_name, create=True, size=max(offset, 1))
+    try:
+        for name, entry in layout.items():
+            if entry[0] == "dense":
+                _, dtype, off, length = entry
+                _put(seg, off, np.dtype(dtype), batch.dense[name].values)
+            else:
+                col = batch.sparse[name]
+                _, o_off, _, v_dtype, v_off, _, _ = entry
+                _put(seg, o_off, np.dtype(np.int64), col.offsets)
+                _put(seg, v_off, np.dtype(v_dtype), col.values)
+    finally:
+        # The producer never reads the segment back; drop its mapping
+        # (the parent holds the only long-lived attachment).
+        seg.close()
+    return ShmBatchHandle(seg_name, layout, offset)
+
+
+def _put(seg, offset: int, dtype: np.dtype, values: np.ndarray) -> None:
+    if len(values) == 0:
+        return
+    view = np.frombuffer(seg.buf, dtype=dtype, count=len(values), offset=offset)
+    np.copyto(view, values, casting="no")
+    del view  # the exported pointer must die before seg.close()
+
+
+def decode_batch(handle: ShmBatchHandle) -> Batch:
+    """Attach, unlink, and rebuild the batch as zero-copy views (parent).
+
+    Unlinking up front retires the name (and its resource-tracker
+    registration) the moment the batch is delivered; the mapping -- and
+    therefore every column view -- stays valid until the views die.
+    """
+    shm = attach_segment(handle.name)
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with a sweep
+        pass
+    batch = _decode_input_batch(shm, handle.layout)
+    _release_fd(shm)
+    return batch
+
+
+def dispose_handle(handle: ShmBatchHandle) -> bool:
+    """Unlink an undecoded handle's segment (drop/teardown paths)."""
+    return unlink_segment(handle.name)
+
+
+def leaked_ingest_segments() -> list[str]:
+    """Names under ``/dev/shm`` from the ingest handoff (for leak tests)."""
+    return leaked_segments(SHM_PREFIX + "-")

@@ -69,8 +69,10 @@ __all__ = [
     "BufferArena",
     "CompileError",
     "CompiledProgram",
+    "DEFAULT_RETAIN_PER_CLASS",
     "compile_graph_set",
     "compile_op_groups",
+    "plan_slots",
 ]
 
 
@@ -83,6 +85,13 @@ class CompileError(ValueError):
 # ----------------------------------------------------------------------
 
 
+#: Default per-(dtype, block-size) retention cap. A program's steady-state
+#: lease count per class is what it actually needs; anything beyond that
+#: (e.g. a one-off giant batch, or a program swapped out for another) is
+#: dead weight, so surplus blocks are dropped at ``reset`` time.
+DEFAULT_RETAIN_PER_CLASS = 64
+
+
 class BufferArena:
     """Size-classed pool of output buffers recycled across batches.
 
@@ -91,20 +100,40 @@ class BufferArena:
     to the free pool (called at the start of each ``execute``, so a batch's
     outputs stay valid until the *next* batch runs). After a warm-up batch,
     steady-state execution of the same program allocates no new blocks.
+
+    Pool growth is bounded: each (dtype, block) size class retains at most
+    ``retain_per_class`` free blocks; surplus blocks returned by ``reset``
+    are released to the allocator and counted in ``evicted_blocks``.
     """
 
-    __slots__ = ("_free", "_leased", "allocated_blocks", "reused_blocks")
+    __slots__ = (
+        "_free",
+        "_leased",
+        "allocated_blocks",
+        "reused_blocks",
+        "evicted_blocks",
+        "retain_per_class",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, retain_per_class: int = DEFAULT_RETAIN_PER_CLASS) -> None:
+        if retain_per_class < 1:
+            raise ValueError("retain_per_class must be >= 1")
         self._free: dict[tuple[np.dtype, int], list[np.ndarray]] = {}
         self._leased: list[tuple[tuple[np.dtype, int], np.ndarray]] = []
         self.allocated_blocks = 0
         self.reused_blocks = 0
+        self.evicted_blocks = 0
+        self.retain_per_class = retain_per_class
 
     def reset(self) -> None:
         """Return every leased block to the pool (invalidates prior leases)."""
+        cap = self.retain_per_class
         for key, base in self._leased:
-            self._free.setdefault(key, []).append(base)
+            pool = self._free.setdefault(key, [])
+            if len(pool) < cap:
+                pool.append(base)
+            else:
+                self.evicted_blocks += 1
         self._leased.clear()
 
     def take(self, size: int, dtype: np.dtype | type) -> np.ndarray:
@@ -123,13 +152,30 @@ class BufferArena:
         self._leased.append((key, base))
         return base[:size]
 
-    def stats(self) -> dict[str, int]:
+    def pooled_bytes(self) -> int:
+        """Bytes currently held by the arena (free pool + live leases)."""
+        total = 0
+        for (dtype, block), pool in self._free.items():
+            total += dtype.itemsize * block * len(pool)
+        for (dtype, block), _ in self._leased:
+            total += dtype.itemsize * block
+        return total
+
+    def hit_rate(self) -> float:
+        """Fraction of ``take`` calls served from the pool."""
+        takes = self.allocated_blocks + self.reused_blocks
+        return self.reused_blocks / takes if takes else 0.0
+
+    def stats(self) -> dict[str, int | float]:
         free_blocks = sum(len(v) for v in self._free.values())
         return {
             "allocated_blocks": self.allocated_blocks,
             "reused_blocks": self.reused_blocks,
             "leased_blocks": len(self._leased),
             "free_blocks": free_blocks,
+            "evicted_blocks": self.evicted_blocks,
+            "pooled_bytes": self.pooled_bytes(),
+            "hit_rate": round(self.hit_rate(), 4),
         }
 
 
@@ -287,14 +333,18 @@ class _SparseEwStep:
 class _FirstXStep:
     """Fused list truncation: members stack row-block-wise into one CSR."""
 
-    __slots__ = ("members", "x")
+    __slots__ = ("members", "x", "kernel")
 
-    def __init__(self, members: list[PreprocessingOp], x: int) -> None:
+    def __init__(
+        self, members: list[PreprocessingOp], x: int, kernel: Callable = firstx_kernel
+    ) -> None:
         self.members = members
         self.x = x
+        self.kernel = kernel
 
     def run(self, regs: dict, program: "CompiledProgram") -> None:
         arena = program.arena
+        firstx_kernel = self.kernel
         cols = [regs[op.inputs[0]] for op in self.members]
         if len(cols) == 1:
             op, col = self.members[0], cols[0]
@@ -329,15 +379,23 @@ class _FirstXStep:
 class _NgramStep:
     """Fused n-gram: per-member row-wise input concat, one window kernel."""
 
-    __slots__ = ("members", "n", "out_hash_size")
+    __slots__ = ("members", "n", "out_hash_size", "kernel")
 
-    def __init__(self, members: list[PreprocessingOp], n: int, out_hash_size: int) -> None:
+    def __init__(
+        self,
+        members: list[PreprocessingOp],
+        n: int,
+        out_hash_size: int,
+        kernel: Callable = ngram_kernel,
+    ) -> None:
         self.members = members
         self.n = n
         self.out_hash_size = out_hash_size
+        self.kernel = kernel
 
     def run(self, regs: dict, program: "CompiledProgram") -> None:
         arena = program.arena
+        ngram_kernel = self.kernel
         combined: list[tuple[np.ndarray, np.ndarray]] = []
         for op in self.members:
             in_cols = [regs[name] for name in op.inputs]
@@ -416,48 +474,70 @@ _FUSED_LOWERINGS = {
 }
 
 
-def _build_step(op_name: str, members: list[PreprocessingOp]):
+#: Reference (numpy) kernel per fused-lowering op type.
+_REFERENCE_KERNELS = {
+    "FillNull": fillnull_kernel,
+    "Logit": logit_kernel,
+    "BoxCox": boxcox_kernel,
+    "Cast": cast_kernel,
+    "Onehot": onehot_kernel,
+    "Bucketize": bucketize_kernel,
+    "SigridHash": sigridhash_kernel,
+    "Clamp": clamp_kernel,
+    "MapId": mapid_kernel,
+    "FirstX": firstx_kernel,
+    "Ngram": ngram_kernel,
+}
+
+#: ``ops.py`` kernel entry-point name per fused-lowering op type (the key
+#: a :class:`repro.preprocessing.backends.KernelBackend` is queried with).
+_KERNEL_NAMES = {op: fn.__name__ for op, fn in _REFERENCE_KERNELS.items()}
+
+
+def _build_step(op_name: str, members: list[PreprocessingOp], backend=None):
     first = members[0]
+    if backend is None or op_name not in _KERNEL_NAMES:
+        kernel = _REFERENCE_KERNELS.get(op_name)
+    else:
+        kernel = backend.kernel(_KERNEL_NAMES[op_name])
     if op_name == "FillNull":
-        return _DenseEwStep(members, fillnull_kernel, (first.fill_value,), np.dtype(np.float32))
+        return _DenseEwStep(members, kernel, (first.fill_value,), np.dtype(np.float32))
     if op_name == "Logit":
-        return _DenseEwStep(members, logit_kernel, (first.eps,), np.dtype(np.float32))
+        return _DenseEwStep(members, kernel, (first.eps,), np.dtype(np.float32))
     if op_name == "BoxCox":
-        return _DenseEwStep(members, boxcox_kernel, (first.lmbda,), np.dtype(np.float32))
+        return _DenseEwStep(members, kernel, (first.lmbda,), np.dtype(np.float32))
     if op_name == "Cast":
         target = np.dtype(first.dtype)
-        return _DenseEwStep(members, cast_kernel, (target,), target)
+        return _DenseEwStep(members, kernel, (target,), target)
     if op_name == "Onehot":
-        return _DenseToSparseStep(members, onehot_kernel, (first.num_classes,), first.num_classes)
+        return _DenseToSparseStep(members, kernel, (first.num_classes,), first.num_classes)
     if op_name == "Bucketize":
-        return _DenseToSparseStep(
-            members, bucketize_kernel, (first.borders,), len(first.borders) + 1
-        )
+        return _DenseToSparseStep(members, kernel, (first.borders,), len(first.borders) + 1)
     if op_name == "SigridHash":
         return _SparseEwStep(
             members,
-            sigridhash_kernel,
+            kernel,
             (first.salt, first.max_value),
             lambda col, m=first.max_value: m,
         )
     if op_name == "Clamp":
         return _SparseEwStep(
             members,
-            clamp_kernel,
+            kernel,
             (first.lower, first.upper),
             lambda col, u=first.upper: max(col.hash_size, u + 1),
         )
     if op_name == "MapId":
         return _SparseEwStep(
             members,
-            mapid_kernel,
+            kernel,
             (first.multiplier, first.offset, first.table_size),
             lambda col, t=first.table_size: t,
         )
     if op_name == "FirstX":
-        return _FirstXStep(members, first.x)
+        return _FirstXStep(members, first.x, kernel)
     if op_name == "Ngram":
-        return _NgramStep(members, first.n, first.out_hash_size)
+        return _NgramStep(members, first.n, first.out_hash_size, kernel)
     return _GenericStep(members)
 
 
@@ -476,12 +556,14 @@ class CompiledProgram:
         required_inputs: frozenset[str],
         num_ops: int,
         arena: BufferArena | None = None,
+        backend=None,
     ) -> None:
         self.steps = steps
         self.rows = rows
         self.required_inputs = required_inputs
         self.num_ops = num_ops
         self.arena = arena if arena is not None else BufferArena()
+        self.backend = backend  # resolved KernelBackend, or None for numpy
         # Onehot/Bucketize emit one id per row: every such output shares this
         # constant offsets array instead of materializing its own arange.
         self.row_iota = np.arange(rows + 1, dtype=np.int64)
@@ -496,12 +578,30 @@ class CompiledProgram:
     def max_fusion_degree(self) -> int:
         return max((len(s.members) for s in self.steps), default=0)
 
-    def summary(self) -> dict[str, int]:
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name if self.backend is not None else "numpy"
+
+    def backend_step_counts(self) -> dict[str, int]:
+        """Steps per effective kernel backend (accelerated vs numpy)."""
+        counts: dict[str, int] = {}
+        for step in self.steps:
+            name = "numpy"
+            if self.backend is not None:
+                kernel_name = _KERNEL_NAMES.get(step.members[0].op_name)
+                if kernel_name is not None and self.backend.accelerates(kernel_name):
+                    name = self.backend.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
         return {
             "ops": self.num_ops,
             "steps": self.num_steps,
             "max_fusion_degree": self.max_fusion_degree,
             "batches_executed": self.batches_executed,
+            "backend": self.backend_name,
+            "backend_steps": self.backend_step_counts(),
         }
 
     def execute(self, batch: Batch, copy_outputs: bool = False) -> Batch:
@@ -600,13 +700,16 @@ def _numeric_key(op: PreprocessingOp):
 
 
 def _group_and_lower(
-    ops: list[PreprocessingOp], slots: list[int]
+    ops: list[PreprocessingOp], slots: list[int], backend=None
 ) -> list:
     """Turn per-op slot indices into ordered fused steps.
 
     Ops sharing (slot, op type, numeric key) fuse into one step; steps are
     emitted slot by slot. Ops whose type has no fused lowering stay
-    singleton generic steps.
+    singleton generic steps. ``backend`` (a resolved
+    :class:`repro.preprocessing.backends.KernelBackend`) swaps in
+    accelerated kernels where available; ``None`` keeps the reference
+    numpy kernels.
     """
     grouped: dict[tuple[int, str], list[int]] = {}
     for idx, op in enumerate(ops):
@@ -620,7 +723,7 @@ def _group_and_lower(
         for i in members:
             by_key.setdefault(_numeric_key(ops[i]), []).append(i)
         for sub in by_key.values():
-            steps.append(_build_step(op_name, [ops[i] for i in sub]))
+            steps.append(_build_step(op_name, [ops[i] for i in sub], backend))
     return steps
 
 
@@ -631,24 +734,26 @@ def _required_inputs(ops: list[PreprocessingOp], produced: dict[str, int]) -> fr
     return frozenset(needed)
 
 
-def compile_graph_set(
+def _resolve_backend(backend):
+    """Accept a backend name / KernelBackend / None (= reference numpy)."""
+    if backend is None:
+        return None
+    from .backends import resolve_backend
+
+    return resolve_backend(backend)
+
+
+def plan_slots(
     graph_set: GraphSet,
     assignment: FusionAssignment | None = None,
     fusion: bool = True,
-    arena: BufferArena | None = None,
-) -> CompiledProgram:
-    """Lower a graph set (optionally with a solved fusion assignment).
+) -> tuple[list[PreprocessingOp], list[int], dict[str, int]]:
+    """Flatten a graph set into ``(ops, slots, produced)``.
 
-    - With ``assignment`` (ops indexed in graph-major order, as produced by
-      :func:`repro.core.fusion.build_fusion_instance` over the same
-      graphs): fused groups follow the assignment's time steps, further
-      split by numeric parameter key so fused members compute identical
-      math. The assignment is validated against the *global* dependency
-      graph (including cross-graph column reads its instance cannot see).
-    - Without one, with ``fusion=True``: groups form at equal ASAP depth --
-      the same greedy baseline the MILP warm-starts from.
-    - With ``fusion=False``: one op per step in topological order (the
-      ``RAP w/o fusion`` ablation).
+    The per-op slot indices are exactly what :func:`compile_graph_set`
+    lowers from, exposed separately so the multi-core engine
+    (:mod:`repro.preprocessing.parallel`) can shard the very same op/slot
+    plan and stay bit-identical to the single-core program.
     """
     ops = [op for graph in graph_set for op in graph.ops]
     produced, deps = _global_deps(ops)
@@ -674,13 +779,44 @@ def compile_graph_set(
             slots = [0] * len(ops)
             for pos, idx in enumerate(order):
                 slots[idx] = pos
-    steps = _group_and_lower(ops, slots)
+    return ops, slots, produced
+
+
+def compile_graph_set(
+    graph_set: GraphSet,
+    assignment: FusionAssignment | None = None,
+    fusion: bool = True,
+    arena: BufferArena | None = None,
+    backend=None,
+) -> CompiledProgram:
+    """Lower a graph set (optionally with a solved fusion assignment).
+
+    - With ``assignment`` (ops indexed in graph-major order, as produced by
+      :func:`repro.core.fusion.build_fusion_instance` over the same
+      graphs): fused groups follow the assignment's time steps, further
+      split by numeric parameter key so fused members compute identical
+      math. The assignment is validated against the *global* dependency
+      graph (including cross-graph column reads its instance cannot see).
+    - Without one, with ``fusion=True``: groups form at equal ASAP depth --
+      the same greedy baseline the MILP warm-starts from.
+    - With ``fusion=False``: one op per step in topological order (the
+      ``RAP w/o fusion`` ablation).
+
+    ``backend`` selects the kernel table per step ("numpy", "numba",
+    "numexpr", "auto", or a resolved
+    :class:`repro.preprocessing.backends.KernelBackend`); every backend is
+    bit-identical to the reference and missing libraries degrade to numpy.
+    """
+    ops, slots, produced = plan_slots(graph_set, assignment, fusion)
+    resolved = _resolve_backend(backend)
+    steps = _group_and_lower(ops, slots, resolved)
     return CompiledProgram(
         steps,
         rows=graph_set.rows,
         required_inputs=_required_inputs(ops, produced),
         num_ops=len(ops),
         arena=arena,
+        backend=resolved,
     )
 
 
@@ -688,6 +824,7 @@ def compile_op_groups(
     groups: Sequence[Sequence[PreprocessingOp]],
     rows: int,
     arena: BufferArena | None = None,
+    backend=None,
 ) -> CompiledProgram:
     """Lower pre-ordered fused op groups (the plan/codegen entry point).
 
@@ -714,11 +851,13 @@ def compile_op_groups(
                 f"group order violates dependency: {flat[j].output!r} (group {slots[j]}) "
                 f"must execute after {flat[i].output!r} (group {slots[i]})"
             )
-    steps = _group_and_lower(flat, slots)
+    resolved = _resolve_backend(backend)
+    steps = _group_and_lower(flat, slots, resolved)
     return CompiledProgram(
         steps,
         rows=rows,
         required_inputs=_required_inputs(flat, produced),
         num_ops=len(flat),
         arena=arena,
+        backend=resolved,
     )

@@ -158,6 +158,12 @@ class DataPathVerifier:
     batch. Compiled programs are cached per plan epoch, so replans and
     membership changes re-lower automatically.
 
+    With ``workers >= 1`` the check instead drives the multi-core engine
+    (:class:`repro.preprocessing.parallel.ParallelEngine`) over the plan's
+    whole graph set, cross-checking the sharded shared-memory path (and
+    the selected kernel ``backend``) against naive. Call :meth:`close`
+    (the runtime does) to release the engine's worker pool and segments.
+
     Strictly opt-in and read-only with respect to the simulation: iteration
     numbers are untouched whether or not a verifier is attached.
     """
@@ -168,19 +174,50 @@ class DataPathVerifier:
         every: int = 10,
         seed: int = 2024,
         strict: bool = True,
+        workers: int = 0,
+        backend: str | None = None,
+        engine_metrics=None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         self.schema = schema
         self.every = every
         self.seed = seed
         self.strict = strict
+        self.workers = workers
+        self.backend = backend
+        self.engine_metrics = engine_metrics
         self.history: list[DataVerification] = []
         self._programs = None
         self._programs_epoch = -1
+        self._engine = None
+        self._engine_epoch = -1
 
     def should_run(self, iteration: int) -> bool:
         return iteration % self.every == 0
+
+    def close(self) -> None:
+        """Release the parallel engine's workers and shm segments."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+            self._engine_epoch = -1
+
+    def _parallel_engine(self, plan: RapPlan, plan_epoch: int):
+        from ..preprocessing.parallel import ParallelEngine
+
+        if self._engine is None or self._engine_epoch != plan_epoch:
+            self.close()
+            self._engine = ParallelEngine(
+                plan.graph_set,
+                workers=self.workers,
+                backend=self.backend,
+                metrics=self.engine_metrics,
+            )
+            self._engine_epoch = plan_epoch
+        return self._engine
 
     def verify(
         self,
@@ -196,8 +233,10 @@ class DataPathVerifier:
         plan's, since the compiled programs are lowered for a fixed shape.
         """
         rows = plan.graph_set.rows
-        if self._programs is None or self._programs_epoch != plan_epoch:
-            self._programs = compile_plan(plan, rows=rows)
+        if self.workers >= 1:
+            engine = self._parallel_engine(plan, plan_epoch)
+        elif self._programs is None or self._programs_epoch != plan_epoch:
+            self._programs = compile_plan(plan, rows=rows, backend=self.backend)
             self._programs_epoch = plan_epoch
         if batch is None:
             batch = SyntheticCriteoDataset(self.schema, seed=self.seed).batch(
@@ -211,13 +250,21 @@ class DataPathVerifier:
         golden = execute_graph_set(plan.graph_set, batch)
         checked = 0
         mismatched: list[str] = []
-        for program in self._programs.values():
-            out = program.execute(batch)
-            for step in program.steps:
-                for op in step.members:
+        if self.workers >= 1:
+            out = engine.execute(batch)
+            for graph in plan.graph_set:
+                for op in graph.ops:
                     checked += 1
                     if not self._column_matches(op.output, out, golden):
                         mismatched.append(op.output)
+        else:
+            for program in self._programs.values():
+                out = program.execute(batch)
+                for step in program.steps:
+                    for op in step.members:
+                        checked += 1
+                        if not self._column_matches(op.output, out, golden):
+                            mismatched.append(op.output)
         result = DataVerification(
             iteration=iteration,
             plan_epoch=plan_epoch,
